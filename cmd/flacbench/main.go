@@ -1,0 +1,105 @@
+// Command flacbench regenerates every table and figure of the FlacOS
+// paper's evaluation, plus the ablations behind its design claims.
+//
+// Usage:
+//
+//	flacbench -experiment all          # everything, paper-scale
+//	flacbench -experiment fig4         # Redis latency, IPC vs TCP
+//	flacbench -experiment container    # §4.2 container startup
+//	flacbench -experiment sync         # ablation A: sync methods
+//	flacbench -experiment pagecache    # ablation B: shared page cache
+//	flacbench -experiment faultbox     # ablation C: fault box recovery
+//	flacbench -experiment ipc          # ablation D: transports
+//	flacbench -experiment dedup        # ablation E: page dedup
+//	flacbench -quick                   # smaller workloads, same shapes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flacos/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|all)")
+	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
+	flag.Parse()
+
+	runners := map[string]func(quick bool) *experiments.Result{
+		"fig4": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultFig4()
+			if q {
+				cfg.Requests = 300
+			}
+			return experiments.Fig4(cfg)
+		},
+		"container": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultContainer()
+			if q {
+				cfg.ImageBytes = 64 << 20
+				cfg.RegistryBytesPerNS = 0.045 / 8
+			}
+			return experiments.Container(cfg)
+		},
+		"sync": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultSync()
+			if q {
+				cfg.Ops = 800
+			}
+			return experiments.SyncAblation(cfg)
+		},
+		"pagecache": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultPageCache()
+			if q {
+				cfg.Files, cfg.PagesPer = 4, 16
+			}
+			return experiments.PageCacheAblation(cfg)
+		},
+		"faultbox": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultFaultBox()
+			if q {
+				cfg.AppCounts = []int{2, 8}
+			}
+			return experiments.FaultBoxAblation(cfg)
+		},
+		"ipc": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultIPC()
+			if q {
+				cfg.Rounds = 300
+			}
+			return experiments.IPCAblation(cfg)
+		},
+		"dedup": func(q bool) *experiments.Result {
+			return experiments.DedupAblation(experiments.DefaultDedup())
+		},
+		"density": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultDensity()
+			if q {
+				cfg.Invokes = 100
+			}
+			return experiments.DensityAblation(cfg)
+		},
+	}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else if _, ok := runners[*exp]; ok {
+		selected = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		res := runners[name](*quick)
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+}

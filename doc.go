@@ -1,0 +1,13 @@
+// Package flacos is a Go reproduction of "Towards Rack-as-a-Computer in
+// Memory Interconnect Era with Coordinated Operating System Sharing"
+// (HotStorage '25): FlacOS, a partially shared operating system for
+// memory-interconnected rack-scale machines, together with the simulated
+// non-coherent fabric it runs on, the network baselines it is evaluated
+// against, and the full experiment harness regenerating the paper's
+// evaluation.
+//
+// Start with internal/core (the OS facade), cmd/rackctl (a guided tour),
+// and cmd/flacbench (the paper's tables and figures). DESIGN.md maps the
+// paper's systems to packages; EXPERIMENTS.md records paper-vs-measured
+// results.
+package flacos

@@ -1,0 +1,3 @@
+module flacos
+
+go 1.23

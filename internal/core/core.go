@@ -1,0 +1,235 @@
+// Package core assembles FlacOS: it boots a simulated memory-interconnect
+// rack and stands up the coordinated, partially shared operating system of
+// the paper — shared kernel structures (page tables, page cache, IPC
+// buffers, operation logs) laid out in global memory, and one node-local
+// OS instance per node holding the private structures (VMAs, TLBs,
+// metadata replicas, socket tables) that coordinate through FlacDK's
+// synchronization methods.
+//
+// This is the public API the examples and the experiment harness consume:
+//
+//	rack := core.Boot(core.Config{Nodes: 2})
+//	osA, osB := rack.OS(0), rack.OS(1)
+//	id, _ := osA.Mount.Create("/shared/data")   // visible on every node
+//	conn, _ := osB.Endpoint.Connect("service")  // zero-copy IPC
+package core
+
+import (
+	"fmt"
+
+	"flacos/internal/boot"
+	"flacos/internal/devshare"
+	"flacos/internal/fabric"
+	"flacos/internal/faultbox"
+	"flacos/internal/flacdk/alloc"
+	"flacos/internal/flacdk/reliability"
+	"flacos/internal/fs"
+	"flacos/internal/ipc"
+	"flacos/internal/irq"
+	"flacos/internal/memsys"
+	"flacos/internal/serverless"
+)
+
+// Config sizes the rack and the OS's shared structures. Zero values get
+// workable defaults for a small simulated rack.
+type Config struct {
+	// Nodes is the number of compute nodes (default 2, like the paper's
+	// two-node Kunpeng rack).
+	Nodes int
+	// GlobalMemory is the interconnect-attached memory size in bytes
+	// (default 256 MiB).
+	GlobalMemory uint64
+	// Latency is the fabric cost model (default: accounting-only).
+	Latency fabric.LatencyModel
+	// CacheCapacityLines bounds each node's simulated cache (0=unbounded).
+	CacheCapacityLines int
+	// PageCacheFrames sizes the shared page cache (default 4096 pages).
+	PageCacheFrames uint64
+	// AnonFrames sizes the anonymous-memory frame pool (default 4096).
+	AnonFrames uint64
+	// ArenaBytes sizes the kernel object arena (default 1/4 of global).
+	ArenaBytes uint64
+	// DeviceReadNS / DeviceWriteNS model the backing storage device
+	// (default 50/60 us, NVMe-class).
+	DeviceReadNS, DeviceWriteNS int
+	// IPC sizes the switchboard.
+	IPC ipc.Config
+	// FaultSeed seeds the deterministic fault injector.
+	FaultSeed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.GlobalMemory == 0 {
+		c.GlobalMemory = 256 << 20
+	}
+	if c.Latency == (fabric.LatencyModel{}) {
+		c.Latency = fabric.DefaultLatency()
+	}
+	if c.PageCacheFrames == 0 {
+		c.PageCacheFrames = 4096
+	}
+	if c.AnonFrames == 0 {
+		c.AnonFrames = 4096
+	}
+	if c.ArenaBytes == 0 {
+		c.ArenaBytes = c.GlobalMemory / 4
+	}
+	if c.DeviceReadNS == 0 {
+		c.DeviceReadNS = 50_000
+	}
+	if c.DeviceWriteNS == 0 {
+		c.DeviceWriteNS = 60_000
+	}
+}
+
+// Rack is a booted FlacOS rack: the shared substrate plus one OS instance
+// per node.
+type Rack struct {
+	Fabric *fabric.Fabric
+	// Frames is the anonymous-memory global frame pool (address spaces,
+	// fault boxes).
+	Frames *memsys.GlobalFrames
+	// Arena allocates kernel objects in global memory.
+	Arena *alloc.Arena
+	// FS is the rack-wide file system with the shared page cache.
+	FS *fs.FS
+	// Dev is the storage device under FS.
+	Dev *fs.MemDev
+	// Switchboard carries zero-copy IPC.
+	Switchboard *ipc.Switchboard
+	// Services is the migration-RPC service table (shared code contexts).
+	Services *ipc.ServiceTable
+	// Boxes manages fault boxes.
+	Boxes *faultbox.Manager
+	// Scrubber guards protected global regions.
+	Scrubber *reliability.Scrubber
+	// IRQ is the rack-wide interrupt controller (§5 extension).
+	IRQ *irq.Controller
+	// Devices is the rack's global device namespace (§5 extension).
+	Devices *devshare.Registry
+	// HWTable is the shared-memory hardware description (§5 extension);
+	// every OS instance discovers the rack through it.
+	HWTable fabric.GPtr
+
+	instances []*OS
+	nextSpace uint64
+}
+
+// OS is one node's FlacOS instance: the node-local half of the coordinated
+// OS, pre-attached to every shared subsystem.
+type OS struct {
+	Rack     *Rack
+	Node     *fabric.Node
+	Mount    *fs.Mount
+	Endpoint *ipc.Endpoint
+	Local    *memsys.LocalStore
+
+	alloc *alloc.NodeAllocator
+}
+
+// Boot brings the rack up.
+func Boot(cfg Config) *Rack {
+	cfg.fillDefaults()
+	f := fabric.New(fabric.Config{
+		GlobalSize:         cfg.GlobalMemory,
+		Nodes:              cfg.Nodes,
+		CacheCapacityLines: cfg.CacheCapacityLines,
+		Latency:            cfg.Latency,
+		FaultSeed:          cfg.FaultSeed,
+	})
+	r := &Rack{Fabric: f}
+	// One frame pool serves both anonymous memory and the page cache, so
+	// file-backed mappings can move frames between them (COW breaks).
+	r.Frames = memsys.NewGlobalFrames(f, cfg.AnonFrames+cfg.PageCacheFrames)
+	r.Arena = alloc.NewArena(f, cfg.ArenaBytes)
+	r.Dev = fs.NewMemDev(cfg.DeviceReadNS, cfg.DeviceWriteNS)
+	r.FS = fs.New(f, r.Dev, fs.Config{
+		CacheFrames: cfg.PageCacheFrames,
+		MaxMounts:   2 * cfg.Nodes,
+		Frames:      r.Frames,
+	})
+	r.Switchboard = ipc.NewSwitchboard(f, f.Node(0), cfg.IPC)
+	r.Services = ipc.NewServiceTable(f)
+	r.Boxes = faultbox.NewManager(f, r.Frames, r.Arena, r.Services)
+	r.Scrubber = reliability.NewScrubber(f)
+	r.IRQ = irq.NewController(f, f.Node(0), 64)
+	r.Devices = devshare.NewRegistry()
+	if _, err := r.Devices.Register("blk0", 0, r.Dev); err != nil {
+		panic(err)
+	}
+
+	// Publish the hardware description into shared memory; every node's OS
+	// instance bootstraps from this single table.
+	r.HWTable = f.Reserve(boot.TableCap(16<<10), fabric.LineSize)
+	desc := boot.HWDesc{GlobalMemBytes: f.Size(), BootSeq: 1}
+	for i := 0; i < cfg.Nodes; i++ {
+		desc.Nodes = append(desc.Nodes, boot.NodeDesc{
+			ID: uint32(i), Cores: 320, Hops: uint32(f.Node(i).Hops()), LocalMemMB: 262144,
+		})
+	}
+	desc.Devices = append(desc.Devices, boot.DeviceDesc{Name: "blk0", Owner: 0, Kind: "block"})
+	if err := boot.Publish(f.Node(0), r.HWTable, desc); err != nil {
+		panic(err)
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := f.Node(i)
+		r.instances = append(r.instances, &OS{
+			Rack:     r,
+			Node:     n,
+			Mount:    r.FS.Mount(n),
+			Endpoint: r.Switchboard.Endpoint(n),
+			Local:    memsys.NewLocalStore(n),
+			alloc:    r.Arena.NodeAllocator(n, 0),
+		})
+	}
+	return r
+}
+
+// Nodes returns the number of nodes in the rack.
+func (r *Rack) Nodes() int { return len(r.instances) }
+
+// OS returns node i's FlacOS instance.
+func (r *Rack) OS(i int) *OS {
+	if i < 0 || i >= len(r.instances) {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d)", i, len(r.instances)))
+	}
+	return r.instances[i]
+}
+
+// NewSpace creates a rack-wide shared address space.
+func (r *Rack) NewSpace() *memsys.Space {
+	r.nextSpace++
+	return memsys.NewSpace(r.Fabric, r.nextSpace, r.Frames,
+		r.Arena.NodeAllocator(r.Fabric.Node(0), 0), 1024)
+}
+
+// Allocator returns the instance's kernel-object allocator. It is bound to
+// one goroutine's use at a time; spawn more with Rack.Arena.NodeAllocator
+// for concurrent workers.
+func (o *OS) Allocator() *alloc.NodeAllocator { return o.alloc }
+
+// DiscoverHardware reads the rack's shared hardware description table —
+// the §5 bootstrapping flow every node runs as it comes up.
+func (o *OS) DiscoverHardware() (boot.HWDesc, error) {
+	return boot.Discover(o.Node, o.Rack.HWTable)
+}
+
+// Attach joins this node to a shared address space.
+func (o *OS) Attach(s *memsys.Space) *memsys.MMU {
+	return s.Attach(o.Node, o.Rack.Arena.NodeAllocator(o.Node, 0), o.Local, 256)
+}
+
+// Serverless stands up the rack-level serverless platform of §4.1 over
+// this rack: per-node container runtimes sharing the page cache, and a
+// control plane routing invocations over migration RPC.
+func (r *Rack) Serverless(reg *serverless.Registry, rtCfg serverless.RuntimeConfig) *serverless.Controller {
+	runtimes := make([]*serverless.NodeRuntime, r.Nodes())
+	for i := range runtimes {
+		runtimes[i] = serverless.NewNodeRuntime(r.Fabric.Node(i), r.OS(i).Mount, reg, rtCfg)
+	}
+	return serverless.NewController(runtimes, r.Services)
+}

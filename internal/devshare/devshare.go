@@ -1,0 +1,169 @@
+// Package devshare implements the paper's §5 "device sharing and
+// aggregation" future-work items:
+//
+//   - Global naming: every device exports a single rack-wide name; any
+//     node opens "nvme0" and gets the same device.
+//   - Device sharing: a device is reachable from every node. Non-owner
+//     access pays a forwarding cost (doorbell + descriptor + the data's
+//     trip across the fabric — the paper wants DMA buffers in global
+//     memory, which is what makes this possible at all).
+//   - Device aggregation: a multi-rail group stripes pages across several
+//     devices so one stream uses all their bandwidth in parallel, like
+//     multi-rail RDMA.
+package devshare
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flacos/internal/fabric"
+	"flacos/internal/fs"
+)
+
+// forwardNS is the cost of handing an I/O request to a remote device
+// owner: doorbell, descriptor fetch, completion notification.
+const forwardNS = 2000
+
+// remoteDataPerPageNS is the extra fabric cost of moving one page between
+// the device's node and the requester (DMA into global memory + pull).
+const remoteDataPerPageNS = 1800
+
+// SharedDev is one rack-visible device.
+type SharedDev struct {
+	Name  string
+	Owner int
+	dev   fs.BlockDev
+
+	localOps  atomic.Uint64
+	remoteOps atomic.Uint64
+}
+
+// ReadPage reads through the shared device from any node.
+func (d *SharedDev) ReadPage(n *fabric.Node, fileID uint64, page uint32, buf []byte) bool {
+	d.charge(n)
+	return d.dev.ReadPage(n, fileID, page, buf)
+}
+
+// WritePage writes through the shared device from any node.
+func (d *SharedDev) WritePage(n *fabric.Node, fileID uint64, page uint32, data []byte) {
+	d.charge(n)
+	d.dev.WritePage(n, fileID, page, data)
+}
+
+func (d *SharedDev) charge(n *fabric.Node) {
+	if n.ID() == d.Owner {
+		d.localOps.Add(1)
+		return
+	}
+	d.remoteOps.Add(1)
+	n.ChargeNS(forwardNS + remoteDataPerPageNS)
+}
+
+// Stats returns local and remote operation counts.
+func (d *SharedDev) Stats() (local, remote uint64) {
+	return d.localOps.Load(), d.remoteOps.Load()
+}
+
+// Registry is the rack's single device namespace (§5's "all nodes have the
+// same block namespace").
+type Registry struct {
+	mu   sync.Mutex
+	devs map[string]*SharedDev
+}
+
+// NewRegistry creates an empty namespace.
+func NewRegistry() *Registry { return &Registry{devs: make(map[string]*SharedDev)} }
+
+// Register exports dev rack-wide under name, owned by node owner.
+func (r *Registry) Register(name string, owner int, dev fs.BlockDev) (*SharedDev, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.devs[name]; dup {
+		return nil, fmt.Errorf("devshare: device %q already registered", name)
+	}
+	sd := &SharedDev{Name: name, Owner: owner, dev: dev}
+	r.devs[name] = sd
+	return sd, nil
+}
+
+// Open resolves a rack-wide device name from any node.
+func (r *Registry) Open(name string) (*SharedDev, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sd, ok := r.devs[name]
+	if !ok {
+		return nil, fmt.Errorf("devshare: no device %q", name)
+	}
+	return sd, nil
+}
+
+// Names lists the namespace.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.devs))
+	for n := range r.devs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// MultiRail aggregates several shared devices into one logical device:
+// page p lives on rail p%R, and batched transfers proceed on all rails in
+// parallel, so a batch of k pages costs what ceil(k/R) sequential pages
+// cost on the slowest rail — the multi-rail bandwidth aggregation of §5.
+//
+// The rails' own per-op latency should be folded into railLatencyNS (use
+// zero-latency BlockDevs underneath); MultiRail charges the modeled
+// parallel cost itself.
+type MultiRail struct {
+	rails         []*SharedDev
+	railLatencyNS int
+}
+
+// NewMultiRail groups rails with the given per-page rail latency.
+func NewMultiRail(rails []*SharedDev, railLatencyNS int) *MultiRail {
+	if len(rails) == 0 {
+		panic("devshare: MultiRail needs at least one rail")
+	}
+	return &MultiRail{rails: rails, railLatencyNS: railLatencyNS}
+}
+
+// Rails returns the number of rails.
+func (m *MultiRail) Rails() int { return len(m.rails) }
+
+func (m *MultiRail) railFor(page uint32) *SharedDev {
+	return m.rails[int(page)%len(m.rails)]
+}
+
+// WritePages stripes count pages starting at startPage across the rails.
+// data holds the pages back to back.
+func (m *MultiRail) WritePages(n *fabric.Node, fileID uint64, startPage uint32, count int, data []byte) {
+	for i := 0; i < count; i++ {
+		p := startPage + uint32(i)
+		m.railFor(p).dev.WritePage(n, fileID, p, data[i*fs.PageSize:(i+1)*fs.PageSize])
+	}
+	m.chargeBatch(n, count)
+}
+
+// ReadPages gathers count pages starting at startPage from the rails into
+// buf, charging the parallel (per-rail pipelined) cost.
+func (m *MultiRail) ReadPages(n *fabric.Node, fileID uint64, startPage uint32, count int, buf []byte) bool {
+	ok := true
+	for i := 0; i < count; i++ {
+		p := startPage + uint32(i)
+		if !m.railFor(p).dev.ReadPage(n, fileID, p, buf[i*fs.PageSize:(i+1)*fs.PageSize]) {
+			ok = false
+		}
+	}
+	m.chargeBatch(n, count)
+	return ok
+}
+
+// chargeBatch charges the batch's parallel completion time: the deepest
+// rail's queue times the per-page rail latency.
+func (m *MultiRail) chargeBatch(n *fabric.Node, count int) {
+	deepest := (count + len(m.rails) - 1) / len(m.rails)
+	n.ChargeNS(deepest * m.railLatencyNS)
+}

@@ -1,0 +1,150 @@
+package devshare
+
+import (
+	"bytes"
+	"testing"
+
+	"flacos/internal/fabric"
+	"flacos/internal/fs"
+)
+
+func rack(t *testing.T, nodes int) *fabric.Fabric {
+	t.Helper()
+	return fabric.New(fabric.Config{GlobalSize: 8 << 20, Nodes: nodes, Latency: fabric.DefaultLatency()})
+}
+
+func TestGlobalNamespace(t *testing.T) {
+	r := NewRegistry()
+	dev := fs.NewMemDev(50_000, 60_000)
+	if _, err := r.Register("nvme0", 0, dev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("nvme0", 1, dev); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+	if _, err := r.Open("nvme0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("nvme9"); err == nil {
+		t.Fatal("unknown device should fail")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "nvme0" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSharedDeviceReachableFromEveryNode(t *testing.T) {
+	f := rack(t, 2)
+	r := NewRegistry()
+	sd, _ := r.Register("nvme0", 0, fs.NewMemDev(50_000, 60_000))
+
+	page := bytes.Repeat([]byte{0x5A}, fs.PageSize)
+	// Remote node writes; owner node reads the same data back.
+	sd.WritePage(f.Node(1), 1, 0, page)
+	got := make([]byte, fs.PageSize)
+	if !sd.ReadPage(f.Node(0), 1, 0, got) || !bytes.Equal(got, page) {
+		t.Fatal("cross-node device data mismatch")
+	}
+	local, remote := sd.Stats()
+	if local != 1 || remote != 1 {
+		t.Fatalf("stats local=%d remote=%d", local, remote)
+	}
+}
+
+func TestRemoteAccessCostsMore(t *testing.T) {
+	f := rack(t, 2)
+	r := NewRegistry()
+	sd, _ := r.Register("nvme0", 0, fs.NewMemDev(50_000, 60_000))
+	buf := make([]byte, fs.PageSize)
+	sd.WritePage(f.Node(0), 1, 0, buf)
+
+	owner, remote := f.Node(0), f.Node(1)
+	ownerBefore := owner.VirtualNS()
+	sd.ReadPage(owner, 1, 0, buf)
+	ownerCost := owner.VirtualNS() - ownerBefore
+
+	remoteBefore := remote.VirtualNS()
+	sd.ReadPage(remote, 1, 0, buf)
+	remoteCost := remote.VirtualNS() - remoteBefore
+
+	if remoteCost <= ownerCost {
+		t.Fatalf("remote access (%d ns) should cost more than local (%d ns)", remoteCost, ownerCost)
+	}
+}
+
+func TestMultiRailStripingAndRoundTrip(t *testing.T) {
+	f := rack(t, 2)
+	r := NewRegistry()
+	var rails []*SharedDev
+	for i := 0; i < 4; i++ {
+		sd, _ := r.Register(string(rune('a'+i)), i%2, fs.NewMemDev(0, 0))
+		rails = append(rails, sd)
+	}
+	mr := NewMultiRail(rails, 50_000)
+	if mr.Rails() != 4 {
+		t.Fatalf("rails = %d", mr.Rails())
+	}
+	const pages = 8
+	data := make([]byte, pages*fs.PageSize)
+	for i := range data {
+		data[i] = byte(i / fs.PageSize)
+	}
+	n := f.Node(0)
+	mr.WritePages(n, 1, 0, pages, data)
+	got := make([]byte, pages*fs.PageSize)
+	if !mr.ReadPages(n, 1, 0, pages, got) || !bytes.Equal(got, data) {
+		t.Fatal("multirail round trip mismatch")
+	}
+	// Each page must actually be on its p%4 rail.
+	one := make([]byte, fs.PageSize)
+	for p := uint32(0); p < pages; p++ {
+		if !rails[p%4].dev.ReadPage(n, 1, p, one) {
+			t.Fatalf("page %d missing from rail %d", p, p%4)
+		}
+		if one[0] != byte(p) {
+			t.Fatalf("page %d content %d on rail %d", p, one[0], p%4)
+		}
+	}
+}
+
+func TestMultiRailParallelSpeedup(t *testing.T) {
+	f := rack(t, 1)
+	n := f.Node(0)
+	const railLat = 50_000
+	mkRails := func(count int) *MultiRail {
+		r := NewRegistry()
+		var rails []*SharedDev
+		for i := 0; i < count; i++ {
+			sd, _ := r.Register(string(rune('a'+i)), 0, fs.NewMemDev(0, 0))
+			rails = append(rails, sd)
+		}
+		return NewMultiRail(rails, railLat)
+	}
+	const pages = 16
+	data := make([]byte, pages*fs.PageSize)
+
+	single := mkRails(1)
+	before := n.VirtualNS()
+	single.WritePages(n, 1, 0, pages, data)
+	singleCost := n.VirtualNS() - before
+
+	quad := mkRails(4)
+	before = n.VirtualNS()
+	quad.WritePages(n, 1, 0, pages, data)
+	quadCost := n.VirtualNS() - before
+
+	// 4 rails should be ~4x faster on the device-latency component.
+	ratio := float64(singleCost) / float64(quadCost)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("4-rail speedup = %.2fx (single %d, quad %d)", ratio, singleCost, quadCost)
+	}
+}
+
+func TestMultiRailRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty rail set should panic")
+		}
+	}()
+	NewMultiRail(nil, 0)
+}

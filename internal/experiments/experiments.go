@@ -1,0 +1,36 @@
+// Package experiments reproduces the paper's evaluation (§4.2) and the
+// ablations behind its design claims (§3). Each experiment builds its own
+// simulated rack, runs the workload, and reports results in VIRTUAL time —
+// the fabric's deterministic cost accounting — so runs are reproducible
+// and independent of host scheduling. cmd/flacbench prints the tables; the
+// repo-root benchmarks wrap the same functions.
+package experiments
+
+import (
+	"fmt"
+
+	"flacos/internal/metrics"
+)
+
+// Result is one experiment's rendered output plus raw series for
+// programmatic checks (tests assert on the shapes the paper claims).
+type Result struct {
+	Name  string
+	Table *metrics.Table
+	// Ratios holds the experiment's headline comparisons, e.g.
+	// "tcp/ipc set 64B" -> 2.1.
+	Ratios map[string]float64
+}
+
+func (r *Result) String() string {
+	out := "== " + r.Name + " ==\n" + r.Table.String()
+	if len(r.Ratios) > 0 {
+		out += "headline ratios:\n"
+		for k, v := range r.Ratios {
+			out += fmt.Sprintf("  %-32s %.2fx\n", k, v)
+		}
+	}
+	return out
+}
+
+func ns(v float64) string { return metrics.FormatNS(v) }

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"flacos/internal/fabric"
+	"flacos/internal/ipc"
+	"flacos/internal/metrics"
+	"flacos/internal/netstack"
+)
+
+// IPCConfig parameterizes ablation D.
+type IPCConfig struct {
+	Rounds   int
+	Payloads []int
+}
+
+// DefaultIPC sweeps payload sizes from cache-line to page-plus scale.
+func DefaultIPC() IPCConfig {
+	return IPCConfig{Rounds: 2000, Payloads: []int{64, 1024, 4096, 16384, 65536}}
+}
+
+// IPCAblation compares echo round-trip cost (virtual ns, both endpoints'
+// charges summed) across the four transports §3.5 discusses: the TCP
+// stack, one-sided RDMA, FlacOS zero-copy shared-buffer IPC, and FlacOS
+// migration RPC (no message at all — the caller's thread runs the server
+// code).
+func IPCAblation(cfg IPCConfig) *Result {
+	res := &Result{
+		Name:   "Ablation D: IPC transports, echo round trip",
+		Table:  metrics.NewTable("payload", "tcp", "rdma", "flacos-ipc", "migration-rpc"),
+		Ratios: map[string]float64{},
+	}
+	for _, size := range cfg.Payloads {
+		tcp := echoTCP(size, cfg.Rounds)
+		rdma := echoRDMA(size, cfg.Rounds)
+		shm := echoIPC(size, cfg.Rounds)
+		mig := echoMigration(size, cfg.Rounds)
+		res.Table.AddRow(fmt.Sprintf("%dB", size),
+			ns(tcp), ns(rdma), ns(shm), ns(mig))
+		res.Ratios[fmt.Sprintf("tcp/ipc %dB", size)] = tcp / shm
+		res.Ratios[fmt.Sprintf("tcp/migration %dB", size)] = tcp / mig
+	}
+	return res
+}
+
+func newIPCRack() *fabric.Fabric {
+	return fabric.New(fabric.Config{
+		GlobalSize: 64 << 20,
+		Nodes:      2,
+		Latency:    fabric.DefaultLatency(),
+	})
+}
+
+func perOp(f *fabric.Fabric, rounds int) float64 {
+	return float64(f.RackStats().VirtualNS) / float64(rounds)
+}
+
+func echoTCP(size, rounds int) float64 {
+	f := newIPCRack()
+	nw := netstack.New(netstack.DefaultTCP())
+	l, _ := nw.Listen(f.Node(0), "s:1")
+	var srv *netstack.Conn
+	done := make(chan struct{})
+	go func() { srv, _ = l.Accept(); close(done) }()
+	cli, err := nw.Dial(f.Node(1), "s:1")
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	f.Node(0).ResetStats()
+	f.Node(1).ResetStats()
+	msg := make([]byte, size)
+	buf := make([]byte, size+64)
+	for i := 0; i < rounds; i++ {
+		cli.Send(msg)
+		n, _ := srv.Recv(buf)
+		srv.Send(buf[:n])
+		cli.Recv(buf)
+	}
+	return perOp(f, rounds)
+}
+
+func echoRDMA(size, rounds int) float64 {
+	f := newIPCRack()
+	r := netstack.NewRDMA(netstack.DefaultRDMA())
+	reqMR := netstack.NewMemoryRegion(size + 64)
+	respMR := netstack.NewMemoryRegion(size + 64)
+	client := f.Node(1)
+	msg := make([]byte, size)
+	buf := make([]byte, size)
+	for i := 0; i < rounds; i++ {
+		// One-sided RPC: write the request into the server's region, the
+		// server-side CPU is bypassed (that is RDMA's selling point), then
+		// read the response back.
+		r.Write(client, reqMR, 0, msg)
+		r.Read(client, respMR, 0, buf)
+	}
+	return perOp(f, rounds)
+}
+
+func echoIPC(size, rounds int) float64 {
+	f := newIPCRack()
+	sb := ipc.NewSwitchboard(f, f.Node(0), ipc.Config{
+		MaxConns: 2, MaxListeners: 1, RingSlots: 8, MsgMax: uint64(size) + 64,
+	})
+	l, _ := sb.Endpoint(f.Node(0)).Bind("echo")
+	var srv *ipc.Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); srv = l.Accept() }()
+	cli, err := sb.Endpoint(f.Node(1)).Connect("echo")
+	if err != nil {
+		panic(err)
+	}
+	wg.Wait()
+	f.Node(0).ResetStats()
+	f.Node(1).ResetStats()
+	msg := make([]byte, size)
+	buf := make([]byte, size+64)
+	for i := 0; i < rounds; i++ {
+		cli.Send(msg)
+		n, _ := srv.Recv(buf)
+		srv.Send(buf[:n])
+		cli.Recv(buf)
+	}
+	return perOp(f, rounds)
+}
+
+func echoMigration(size, rounds int) float64 {
+	f := newIPCRack()
+	tbl := ipc.NewServiceTable(f)
+	tbl.Register("echo", func(n *fabric.Node, req []byte) []byte { return req })
+	client := f.Node(1)
+	msg := make([]byte, size)
+	for i := 0; i < rounds; i++ {
+		if _, err := tbl.Call(client, "echo", msg); err != nil {
+			panic(err)
+		}
+	}
+	return perOp(f, rounds)
+}

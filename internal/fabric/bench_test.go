@@ -1,0 +1,100 @@
+package fabric
+
+import "testing"
+
+// Micro-benchmarks of the simulator itself (latency model off): how fast
+// the host can simulate fabric operations. The modeled costs live in the
+// virtual-time ledger, not in these wall-clock numbers.
+
+func benchFabric(b *testing.B) (*Fabric, *Node, GPtr) {
+	b.Helper()
+	f := New(Config{GlobalSize: 16 << 20, Nodes: 2})
+	return f, f.Node(0), f.Reserve(1<<20, LineSize)
+}
+
+func BenchmarkLoad64Hit(b *testing.B) {
+	_, n, g := benchFabric(b)
+	n.Load64(g) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Load64(g)
+	}
+}
+
+func BenchmarkLoad64Miss(b *testing.B) {
+	_, n, g := benchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.InvalidateRange(g, 8)
+		n.Load64(g)
+	}
+}
+
+func BenchmarkStore64(b *testing.B) {
+	_, n, g := benchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Store64(g, uint64(i))
+	}
+}
+
+func BenchmarkCAS64(b *testing.B) {
+	_, n, g := benchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.CAS64(g, uint64(i), uint64(i+1))
+	}
+}
+
+func BenchmarkAdd64(b *testing.B) {
+	_, n, g := benchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Add64(g, 1)
+	}
+}
+
+func BenchmarkBulkWrite4K(b *testing.B) {
+	_, n, g := benchFabric(b)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Write(g, buf)
+	}
+}
+
+func BenchmarkBulkRead4K(b *testing.B) {
+	_, n, g := benchFabric(b)
+	buf := make([]byte, 4096)
+	n.Write(g, buf)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Read(g, buf)
+	}
+}
+
+func BenchmarkWriteBackFlush4K(b *testing.B) {
+	_, n, g := benchFabric(b)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Write(g, buf)
+		n.FlushRange(g, 4096)
+	}
+}
+
+func BenchmarkCrossNodePublish(b *testing.B) {
+	f, n, g := benchFabric(b)
+	peer := f.Node(1)
+	buf := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Write(g, buf)
+		n.WriteBackRange(g, 256)
+		peer.InvalidateRange(g, 256)
+		peer.Read(g, buf)
+	}
+}

@@ -1,0 +1,69 @@
+package fabric
+
+import "sync"
+
+// cacheLine is one 64-byte line held in a node's simulated cache.
+type cacheLine struct {
+	data  [LineSize]byte
+	dirty bool
+}
+
+// cache is a node's private, software-simulated cache of global memory.
+// There is no coherence traffic between caches: a line stays as fetched (or
+// as locally written) until the owning node invalidates or writes it back.
+type cache struct {
+	mu       sync.Mutex
+	lines    map[uint64]*cacheLine
+	capacity int // max resident lines; 0 means unlimited
+}
+
+func newCache(capacity int) *cache {
+	return &cache{lines: make(map[uint64]*cacheLine), capacity: capacity}
+}
+
+// lookup returns the resident line for index li, or nil.
+// Caller holds c.mu.
+func (c *cache) lookup(li uint64) *cacheLine { return c.lines[li] }
+
+// insert adds a line, evicting a victim if at capacity. It returns the
+// victim's index and line if a dirty line was evicted (the caller must write
+// it back to home memory), else (0, nil).
+// Caller holds c.mu.
+func (c *cache) insert(li uint64, ln *cacheLine) (uint64, *cacheLine) {
+	var victimIdx uint64
+	var victim *cacheLine
+	if c.capacity > 0 && len(c.lines) >= c.capacity {
+		// Evict an arbitrary line (map order); real caches use LRU/clock but
+		// the choice only perturbs the miss rate, not correctness.
+		for idx, l := range c.lines {
+			delete(c.lines, idx)
+			if l.dirty {
+				victimIdx, victim = idx, l
+			}
+			break
+		}
+	}
+	c.lines[li] = ln
+	return victimIdx, victim
+}
+
+// drop removes the line for index li, returning it if it was resident.
+// Caller holds c.mu.
+func (c *cache) drop(li uint64) *cacheLine {
+	ln := c.lines[li]
+	if ln != nil {
+		delete(c.lines, li)
+	}
+	return ln
+}
+
+// reset discards every line (crash, or InvalidateAll).
+// Caller holds c.mu.
+func (c *cache) reset() { c.lines = make(map[uint64]*cacheLine) }
+
+// resident returns the number of lines currently cached.
+func (c *cache) resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.lines)
+}

@@ -1,0 +1,29 @@
+// Package fabric simulates a memory-interconnected rack: a byte-addressable
+// global memory shared by every node, reachable by load/store and fabric
+// atomics, but WITHOUT hardware cache coherence.
+//
+// The simulation models the contract that CXL/HCCS-class interconnects give
+// software (per the FlacOS paper, HotStorage '25):
+//
+//   - Every node may load/store any global address, but plain accesses go
+//     through a per-node software-simulated cache of 64-byte lines. A node
+//     that cached a line keeps reading its (possibly stale) copy until it
+//     explicitly invalidates; a node's stores stay in its cache until it
+//     explicitly writes them back. There is no snooping between nodes.
+//   - Fabric atomics (AtomicLoad64, AtomicStore64, CAS64, Add64, Swap64)
+//     bypass the caches entirely and act on home memory, like non-cacheable
+//     fabric atomics. Mixing plain and atomic accesses to the same word
+//     requires an explicit invalidate before the plain load observes the
+//     atomic's effect.
+//   - Global accesses are slower than node-local memory; the latency model
+//     charges a per-operation cost (optionally as a real calibrated spin so
+//     wall-clock benchmarks reproduce the paper's shapes).
+//   - Faults happen: bit flips in home memory, node crashes that discard all
+//     not-yet-written-back cache lines, and degraded links. The reliability
+//     layers above detect and recover from these.
+//
+// Global memory is addressed by GPtr offsets, never by Go pointers, so the
+// Go garbage collector never sees shared state — the same discipline a real
+// shared-memory kernel uses (and the reason a naive GC-managed port of
+// kernel data structures cannot work).
+package fabric

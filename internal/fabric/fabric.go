@@ -1,0 +1,209 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Config describes the simulated rack.
+type Config struct {
+	// GlobalSize is the size of global memory in bytes. Rounded up to a
+	// multiple of LineSize. The first line is reserved so GPtr 0 means nil.
+	GlobalSize uint64
+	// Nodes is the number of compute nodes attached to the interconnect.
+	Nodes int
+	// CacheCapacityLines bounds each node's simulated cache. 0 selects the
+	// default of 65536 lines (4 MiB, an L2-ish cache); negative means
+	// unlimited (only sensible for small unit tests).
+	CacheCapacityLines int
+	// Latency is the cost model. Zero value disables latency charging.
+	Latency LatencyModel
+	// Hops gives each node's distance (interconnect hops) to home memory.
+	// Nil means one hop for every node. Length must equal Nodes otherwise.
+	Hops []int
+	// FaultSeed seeds the deterministic fault injector.
+	FaultSeed int64
+}
+
+// Fabric is the rack's memory interconnect: home global memory plus the
+// per-node caches and the fault domain that sits between nodes and memory.
+type Fabric struct {
+	cfg   Config
+	lat   LatencyModel
+	words []uint64 // home memory, accessed only with atomic word ops
+	size  uint64
+	nodes []*Node
+
+	reserveMu  sync.Mutex
+	reserveOff uint64
+
+	faults *FaultInjector
+}
+
+// New builds a rack fabric from cfg. It panics on nonsensical configuration
+// (zero nodes, zero memory), since that is always a programming error.
+func New(cfg Config) *Fabric {
+	if cfg.Nodes <= 0 {
+		panic("fabric: Config.Nodes must be positive")
+	}
+	if cfg.GlobalSize < 2*LineSize {
+		panic("fabric: Config.GlobalSize too small")
+	}
+	size := AlignUp64(cfg.GlobalSize, LineSize)
+	if cfg.Hops != nil && len(cfg.Hops) != cfg.Nodes {
+		panic("fabric: Config.Hops length must equal Config.Nodes")
+	}
+	cacheCap := cfg.CacheCapacityLines
+	switch {
+	case cacheCap == 0:
+		cacheCap = 65536 // 4 MiB per node
+	case cacheCap < 0:
+		cacheCap = 0 // unlimited
+	}
+	f := &Fabric{
+		cfg:        cfg,
+		lat:        cfg.Latency,
+		words:      make([]uint64, size/WordSize),
+		size:       size,
+		reserveOff: LineSize, // line 0 reserved: GPtr 0 is nil
+	}
+	f.faults = newFaultInjector(cfg.FaultSeed)
+	f.nodes = make([]*Node, cfg.Nodes)
+	for i := range f.nodes {
+		hops := 1
+		if cfg.Hops != nil {
+			hops = cfg.Hops[i]
+		}
+		f.nodes[i] = &Node{
+			id:    i,
+			fab:   f,
+			hops:  hops,
+			cache: newCache(cacheCap),
+		}
+	}
+	return f
+}
+
+// Node returns the i'th node's view of the fabric.
+func (f *Fabric) Node(i int) *Node { return f.nodes[i] }
+
+// NumNodes returns the number of nodes attached to the fabric.
+func (f *Fabric) NumNodes() int { return len(f.nodes) }
+
+// Size returns the usable size of global memory in bytes.
+func (f *Fabric) Size() uint64 { return f.size }
+
+// Faults returns the fabric's fault injector.
+func (f *Fabric) Faults() *FaultInjector { return f.faults }
+
+// Latency returns the fabric's latency model.
+func (f *Fabric) Latency() LatencyModel { return f.lat }
+
+// Reserve carves size bytes (aligned to align, a power of two, at least
+// LineSize recommended for independently-synchronized regions) out of global
+// memory. It is the boot-time allocator used to lay out static kernel
+// regions; dynamic allocation is built above it by flacdk/alloc. Reserve
+// panics when global memory is exhausted: static layout overflow is a
+// configuration error, not a runtime condition.
+func (f *Fabric) Reserve(size, align uint64) GPtr {
+	if align == 0 {
+		align = WordSize
+	}
+	if align&(align-1) != 0 {
+		panic("fabric: Reserve alignment must be a power of two")
+	}
+	f.reserveMu.Lock()
+	defer f.reserveMu.Unlock()
+	off := AlignUp64(f.reserveOff, align)
+	if off+size > f.size {
+		panic(fmt.Sprintf("fabric: Reserve(%d, %d): global memory exhausted (%d of %d used)",
+			size, align, f.reserveOff, f.size))
+	}
+	f.reserveOff = off + size
+	return GPtr(off)
+}
+
+// Reserved returns how many bytes of global memory Reserve has handed out.
+func (f *Fabric) Reserved() uint64 {
+	f.reserveMu.Lock()
+	defer f.reserveMu.Unlock()
+	return f.reserveOff
+}
+
+// checkRange panics unless [g, g+n) lies inside global memory and g != nil.
+func (f *Fabric) checkRange(g GPtr, n uint64) {
+	if g.IsNil() {
+		panic("fabric: nil GPtr dereference")
+	}
+	if uint64(g)+n > f.size || uint64(g)+n < uint64(g) {
+		panic(fmt.Sprintf("fabric: access [%v,+%d) outside global memory of %d bytes", g, n, f.size))
+	}
+}
+
+// homeLoadWord reads one aligned word from home memory.
+func (f *Fabric) homeLoadWord(wordIdx uint64) uint64 {
+	return atomic.LoadUint64(&f.words[wordIdx])
+}
+
+// homeStoreWord writes one aligned word to home memory.
+func (f *Fabric) homeStoreWord(wordIdx uint64, v uint64) {
+	atomic.StoreUint64(&f.words[wordIdx], v)
+}
+
+// fetchLineHome copies the line with index li from home memory into dst.
+func (f *Fabric) fetchLineHome(li uint64, dst *[LineSize]byte) {
+	base := li * LineSize / WordSize
+	for w := uint64(0); w < LineSize/WordSize; w++ {
+		binary.LittleEndian.PutUint64(dst[w*WordSize:], f.homeLoadWord(base+w))
+	}
+}
+
+// writeLineHome copies src into home memory at line index li, applying any
+// write-path fault injection.
+func (f *Fabric) writeLineHome(li uint64, src *[LineSize]byte) {
+	if f.faults.dropWriteBack() {
+		return // the line silently never reaches home memory
+	}
+	base := li * LineSize / WordSize
+	for w := uint64(0); w < LineSize/WordSize; w++ {
+		v := binary.LittleEndian.Uint64(src[w*WordSize:])
+		v = f.faults.corruptOnWrite(v)
+		f.homeStoreWord(base+w, v)
+	}
+}
+
+// ReadAtHome copies home-memory contents into buf, bypassing every cache.
+// It is the fabric's "device scrub" path, used by the reliability scrubber
+// and by tests to observe ground truth; regular code must go through a Node.
+func (f *Fabric) ReadAtHome(g GPtr, buf []byte) {
+	f.checkRange(g, uint64(len(buf)))
+	for i := range buf {
+		w := (uint64(g) + uint64(i)) / WordSize
+		sh := ((uint64(g) + uint64(i)) % WordSize) * 8
+		buf[i] = byte(f.homeLoadWord(w) >> sh)
+	}
+}
+
+// WriteAtHome stores buf directly into home memory, bypassing caches and
+// fault injection. It models out-of-band provisioning (e.g. the BIOS or a
+// storage device DMA-ing initial contents) and is also used by tests.
+func (f *Fabric) WriteAtHome(g GPtr, buf []byte) {
+	f.checkRange(g, uint64(len(buf)))
+	i := 0
+	for i < len(buf) {
+		addr := uint64(g) + uint64(i)
+		w := addr / WordSize
+		sh := (addr % WordSize) * 8
+		// Read-modify-write one byte at a time; fine for a provisioning path.
+		for {
+			old := f.homeLoadWord(w)
+			neu := (old &^ (uint64(0xff) << sh)) | uint64(buf[i])<<sh
+			if atomic.CompareAndSwapUint64(&f.words[w], old, neu) {
+				break
+			}
+		}
+		i++
+	}
+}

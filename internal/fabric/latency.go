@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyMode selects how the latency model charges memory-operation costs.
+type LatencyMode int
+
+const (
+	// LatencyOff charges nothing. Unit tests use this.
+	LatencyOff LatencyMode = iota
+	// LatencyAccount accumulates virtual nanoseconds in per-node counters
+	// without delaying execution. Deterministic experiments use this.
+	LatencyAccount
+	// LatencySpin both accounts and busy-waits for the charged duration so
+	// wall-clock benchmark comparisons reproduce the modeled cost ratios.
+	LatencySpin
+)
+
+// LatencyModel describes the cost, in nanoseconds, of the rack's memory
+// operations. The defaults approximate published CXL/HCCS numbers: local
+// DRAM ~100 ns, one-hop global memory 3-6x that, fabric atomics costlier
+// still because they round-trip to the memory device.
+type LatencyModel struct {
+	Mode LatencyMode
+
+	// LocalNS is the cost of a node-local memory access (a cache hit in the
+	// simulated node cache is considered local).
+	LocalNS int
+	// GlobalNS is the base cost of reaching home global memory (a cache
+	// miss, a write-back, or one line of a bulk transfer).
+	GlobalNS int
+	// HopNS is added per interconnect hop between the node and home memory.
+	HopNS int
+	// AtomicNS is the cost of one fabric atomic (always reaches home).
+	AtomicNS int
+	// FenceNS is the cost of a memory barrier.
+	FenceNS int
+	// PerLineNS is the incremental cost per additional cache line in a bulk
+	// transfer after the first (models pipelined line fetches).
+	PerLineNS int
+}
+
+// DefaultLatency returns the latency model used by the experiment harness:
+// accounting-only by default so results are deterministic; benchmarks flip
+// Mode to LatencySpin.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		Mode:      LatencyAccount,
+		LocalNS:   100,
+		GlobalNS:  450,
+		HopNS:     80,
+		AtomicNS:  600,
+		FenceNS:   30,
+		PerLineNS: 20, // pipelined bulk: ~3 GB/s per-node streaming
+	}
+}
+
+// spinCalibration is the number of iterations of the calibration loop that
+// take one nanosecond, fixed-point scaled by spinScale. Calibrated once, at
+// first use.
+var (
+	spinPerNS   atomic.Uint64 // iterations per ns, scaled by spinScale
+	spinOnce    atomic.Bool
+	spinSink    atomic.Uint64
+	spinPending atomic.Bool
+)
+
+const spinScale = 1024
+
+func calibrateSpin() {
+	if !spinPending.CompareAndSwap(false, true) {
+		// Another goroutine is calibrating; spin until done.
+		for !spinOnce.Load() {
+		}
+		return
+	}
+	const iters = 4 << 20
+	start := time.Now()
+	var s uint64
+	for i := 0; i < iters; i++ {
+		s += uint64(i) ^ (s >> 3)
+	}
+	spinSink.Add(s)
+	el := time.Since(start).Nanoseconds()
+	if el < 1 {
+		el = 1
+	}
+	per := uint64(iters) * spinScale / uint64(el)
+	if per == 0 {
+		per = 1
+	}
+	spinPerNS.Store(per)
+	spinOnce.Store(true)
+}
+
+// spinWait busy-loops for approximately ns nanoseconds using a calibrated
+// arithmetic loop (no syscalls, no timer churn).
+func spinWait(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	if !spinOnce.Load() {
+		calibrateSpin()
+	}
+	iters := uint64(ns) * spinPerNS.Load() / spinScale
+	var s uint64
+	for i := uint64(0); i < iters; i++ {
+		s += i ^ (s >> 3)
+	}
+	spinSink.Add(s)
+}
+
+// charge applies the latency model for a cost of ns nanoseconds on behalf of
+// node n: it always accumulates virtual time, and in LatencySpin mode it
+// also busy-waits.
+func (n *Node) charge(ns int) {
+	if ns <= 0 || n.fab.lat.Mode == LatencyOff {
+		return
+	}
+	n.stats.VirtualNS.Add(uint64(ns))
+	if n.fab.lat.Mode == LatencySpin {
+		spinWait(int64(ns))
+	}
+}
+
+// globalCost returns the modeled cost of one home-memory access from node n,
+// including hop costs, plus PerLineNS for each line beyond the first.
+func (n *Node) globalCost(lines int) int {
+	c := n.fab.lat.GlobalNS + n.hops*n.fab.lat.HopNS
+	if lines > 1 {
+		c += (lines - 1) * n.fab.lat.PerLineNS
+	}
+	return c
+}

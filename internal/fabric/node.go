@@ -1,0 +1,416 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Node is one compute node's view of the fabric. All plain loads and stores
+// go through the node's private, non-coherent cache; atomics bypass it.
+// A Node's methods are safe for concurrent use by the many goroutines that
+// play the node's CPUs.
+type Node struct {
+	id      int
+	fab     *Fabric
+	hops    int
+	cache   *cache
+	crashed atomic.Bool
+	stats   NodeStats
+}
+
+// ID returns the node's index within the rack.
+func (n *Node) ID() int { return n.id }
+
+// Hops returns the node's interconnect distance to home memory.
+func (n *Node) Hops() int { return n.hops }
+
+// Fabric returns the fabric this node is attached to.
+func (n *Node) Fabric() *Fabric { return n.fab }
+
+// Stats returns a snapshot of the node's memory-traffic counters.
+func (n *Node) Stats() NodeStatsSnapshot { return n.stats.snapshot() }
+
+// ResetStats zeroes the node's counters.
+func (n *Node) ResetStats() { n.stats.reset() }
+
+// VirtualNS returns the virtual nanoseconds this node has been charged.
+func (n *Node) VirtualNS() uint64 { return n.stats.VirtualNS.Load() }
+
+func (n *Node) checkAlive() {
+	if n.crashed.Load() {
+		panic(fmt.Sprintf("fabric: operation on crashed node %d", n.id))
+	}
+}
+
+// Crash simulates a node failure: every cache line that has not been
+// written back is lost, and further memory operations panic until Restart.
+// Home global memory keeps only what reached it — exactly the paper's
+// persistence model for interconnect-attached memory.
+func (n *Node) Crash() {
+	n.crashed.Store(true)
+	n.cache.mu.Lock()
+	n.cache.reset()
+	n.cache.mu.Unlock()
+}
+
+// Restart revives a crashed node with a cold, empty cache.
+func (n *Node) Restart() {
+	n.cache.mu.Lock()
+	n.cache.reset()
+	n.cache.mu.Unlock()
+	n.crashed.Store(false)
+}
+
+// Crashed reports whether the node is currently down.
+func (n *Node) Crashed() bool { return n.crashed.Load() }
+
+// CacheResidentLines returns how many lines the node's cache holds.
+func (n *Node) CacheResidentLines() int { return n.cache.resident() }
+
+// withLine runs fn on the cache line containing [g, g+size), faulting the
+// line in from home memory on a miss. size must not cross a line boundary.
+// If write is true the line is marked dirty. It charges hit/miss latency.
+func (n *Node) withLine(g GPtr, size uint64, write bool, fn func(data *[LineSize]byte, off uint64)) {
+	n.checkAlive()
+	n.fab.checkRange(g, size)
+	li := g.Line()
+	off := uint64(g) % LineSize
+	if off+size > LineSize {
+		panic(fmt.Sprintf("fabric: access at %v size %d crosses a cache line", g, size))
+	}
+	c := n.cache
+	c.mu.Lock()
+	ln := c.lookup(li)
+	miss := ln == nil
+	var victimIdx uint64
+	var victim *cacheLine
+	if miss {
+		ln = &cacheLine{}
+		if write && off == 0 && size == LineSize {
+			// Full-line write: no write-allocate fetch — the line's old
+			// contents are irrelevant and the store buffer covers it
+			// entirely (hardware write-combining). The later write-back is
+			// the only transfer this line costs.
+			miss = false
+		} else {
+			n.fab.fetchLineHome(li, &ln.data)
+		}
+		victimIdx, victim = c.insert(li, ln)
+	}
+	if write {
+		ln.dirty = true
+	}
+	fn(&ln.data, off)
+	c.mu.Unlock()
+	if victim != nil {
+		n.fab.writeLineHome(victimIdx, &victim.data)
+		n.stats.WriteBacks.Add(1)
+	}
+	if write {
+		n.stats.Stores.Add(1)
+	} else {
+		n.stats.Loads.Add(1)
+	}
+	if miss {
+		n.stats.Misses.Add(1)
+		n.charge(n.globalCost(1))
+	} else {
+		n.stats.Hits.Add(1)
+		n.charge(n.fab.lat.LocalNS)
+	}
+}
+
+func (n *Node) checkAligned(g GPtr, size uint64) {
+	if !g.AlignedTo(size) {
+		panic(fmt.Sprintf("fabric: %d-byte access at unaligned address %v", size, g))
+	}
+}
+
+// Load8 reads one byte through the node's cache.
+func (n *Node) Load8(g GPtr) byte {
+	var v byte
+	n.withLine(g, 1, false, func(d *[LineSize]byte, off uint64) { v = d[off] })
+	return v
+}
+
+// Load16 reads an aligned 16-bit value through the node's cache.
+func (n *Node) Load16(g GPtr) uint16 {
+	n.checkAligned(g, 2)
+	var v uint16
+	n.withLine(g, 2, false, func(d *[LineSize]byte, off uint64) { v = binary.LittleEndian.Uint16(d[off:]) })
+	return v
+}
+
+// Load32 reads an aligned 32-bit value through the node's cache.
+func (n *Node) Load32(g GPtr) uint32 {
+	n.checkAligned(g, 4)
+	var v uint32
+	n.withLine(g, 4, false, func(d *[LineSize]byte, off uint64) { v = binary.LittleEndian.Uint32(d[off:]) })
+	return v
+}
+
+// Load64 reads an aligned 64-bit value through the node's cache. The value
+// may be stale if another node wrote it and this node has not invalidated.
+func (n *Node) Load64(g GPtr) uint64 {
+	n.checkAligned(g, 8)
+	var v uint64
+	n.withLine(g, 8, false, func(d *[LineSize]byte, off uint64) { v = binary.LittleEndian.Uint64(d[off:]) })
+	return v
+}
+
+// Store8 writes one byte into the node's cache. The byte does not reach
+// home memory until the line is written back.
+func (n *Node) Store8(g GPtr, v byte) {
+	n.withLine(g, 1, true, func(d *[LineSize]byte, off uint64) { d[off] = v })
+}
+
+// Store16 writes an aligned 16-bit value into the node's cache.
+func (n *Node) Store16(g GPtr, v uint16) {
+	n.checkAligned(g, 2)
+	n.withLine(g, 2, true, func(d *[LineSize]byte, off uint64) { binary.LittleEndian.PutUint16(d[off:], v) })
+}
+
+// Store32 writes an aligned 32-bit value into the node's cache.
+func (n *Node) Store32(g GPtr, v uint32) {
+	n.checkAligned(g, 4)
+	n.withLine(g, 4, true, func(d *[LineSize]byte, off uint64) { binary.LittleEndian.PutUint32(d[off:], v) })
+}
+
+// Store64 writes an aligned 64-bit value into the node's cache.
+func (n *Node) Store64(g GPtr, v uint64) {
+	n.checkAligned(g, 8)
+	n.withLine(g, 8, true, func(d *[LineSize]byte, off uint64) { binary.LittleEndian.PutUint64(d[off:], v) })
+}
+
+// bulkAccess runs fn over every line-chunk of [g, g+total) through the
+// cache, then charges ONE pipelined transfer cost for the whole range:
+// missed lines stream at PerLineNS after the first line's full latency,
+// hit lines cost local accesses. This models how real interconnects move
+// bulk data (pipelined line fetches), unlike the independent-miss charging
+// of the word-granularity ops.
+func (n *Node) bulkAccess(g GPtr, total uint64, write bool, fn func(d *[LineSize]byte, off, done, chunk uint64)) {
+	n.checkAlive()
+	n.fab.checkRange(g, total)
+	missBefore := n.stats.Misses.Load()
+	hitBefore := n.stats.Hits.Load()
+	nsBefore := n.stats.VirtualNS.Load()
+	done := uint64(0)
+	for done < total {
+		cur := g.Add(done)
+		inLine := LineSize - uint64(cur)%LineSize
+		chunk := min(inLine, total-done)
+		n.withLine(cur, chunk, write, func(d *[LineSize]byte, off uint64) {
+			fn(d, off, done, chunk)
+		})
+		done += chunk
+	}
+	// Replace the per-line charges accrued inside withLine with one
+	// aggregate pipelined cost.
+	perLine := n.stats.VirtualNS.Load() - nsBefore
+	misses := n.stats.Misses.Load() - missBefore
+	hits := n.stats.Hits.Load() - hitBefore
+	agg := 0
+	if misses > 0 {
+		agg += n.globalCost(int(misses))
+	}
+	if hits > 0 {
+		agg += int(hits) * n.fab.lat.LocalNS
+	}
+	if n.fab.lat.Mode != LatencyOff {
+		// Undo the inline charge, apply the aggregate (accounting only; in
+		// spin mode the inline spin already approximates the cost and we
+		// simply correct the ledger).
+		n.stats.VirtualNS.Add(uint64(agg) - perLine)
+	}
+}
+
+// Read copies len(buf) bytes starting at g into buf, through the cache,
+// charged as one pipelined bulk transfer.
+func (n *Node) Read(g GPtr, buf []byte) {
+	total := uint64(len(buf))
+	n.bulkAccess(g, total, false, func(d *[LineSize]byte, off, done, chunk uint64) {
+		copy(buf[done:done+chunk], d[off:off+chunk])
+	})
+	n.stats.BulkBytesRead.Add(total)
+}
+
+// Write copies data into global memory starting at g, through the cache,
+// charged as one pipelined bulk transfer. The data reaches home memory
+// only after write-back.
+func (n *Node) Write(g GPtr, data []byte) {
+	total := uint64(len(data))
+	n.bulkAccess(g, total, true, func(d *[LineSize]byte, off, done, chunk uint64) {
+		copy(d[off:off+chunk], data[done:done+chunk])
+	})
+	n.stats.BulkBytesWritten.Add(total)
+}
+
+// --- Fabric atomics: bypass the cache, operate on home memory ---
+
+func (n *Node) atomicPre(g GPtr) uint64 {
+	n.checkAlive()
+	n.fab.checkRange(g, WordSize)
+	n.checkAligned(g, WordSize)
+	n.stats.Atomics.Add(1)
+	n.charge(n.fab.lat.AtomicNS + n.hops*n.fab.lat.HopNS)
+	return uint64(g) / WordSize
+}
+
+// AtomicLoad64 reads a word directly from home memory.
+func (n *Node) AtomicLoad64(g GPtr) uint64 {
+	w := n.atomicPre(g)
+	return atomic.LoadUint64(&n.fab.words[w])
+}
+
+// AtomicStore64 writes a word directly to home memory.
+func (n *Node) AtomicStore64(g GPtr, v uint64) {
+	w := n.atomicPre(g)
+	atomic.StoreUint64(&n.fab.words[w], v)
+}
+
+// CAS64 atomically compares-and-swaps a home-memory word.
+func (n *Node) CAS64(g GPtr, old, new uint64) bool {
+	w := n.atomicPre(g)
+	return atomic.CompareAndSwapUint64(&n.fab.words[w], old, new)
+}
+
+// Add64 atomically adds delta to a home-memory word and returns the new value.
+func (n *Node) Add64(g GPtr, delta uint64) uint64 {
+	w := n.atomicPre(g)
+	return atomic.AddUint64(&n.fab.words[w], delta)
+}
+
+// Swap64 atomically exchanges a home-memory word, returning the old value.
+func (n *Node) Swap64(g GPtr, v uint64) uint64 {
+	w := n.atomicPre(g)
+	return atomic.SwapUint64(&n.fab.words[w], v)
+}
+
+// Fence is a full memory barrier. Go's atomics already order the simulated
+// operations; Fence exists so algorithm code documents its ordering points
+// and pays the modeled cost.
+func (n *Node) Fence() {
+	n.checkAlive()
+	n.stats.Fences.Add(1)
+	n.charge(n.fab.lat.FenceNS)
+}
+
+// --- Cache maintenance ---
+
+// WriteBackRange pushes every dirty cached line overlapping [g, g+size) to
+// home memory. Lines stay resident and become clean.
+func (n *Node) WriteBackRange(g GPtr, size uint64) {
+	n.checkAlive()
+	if size == 0 {
+		return
+	}
+	n.fab.checkRange(g, size)
+	c := n.cache
+	first, last := g.Line(), g.Add(size-1).Line()
+	written := 0
+	for li := first; li <= last; li++ {
+		c.mu.Lock()
+		ln := c.lookup(li)
+		var cp [LineSize]byte
+		doWB := ln != nil && ln.dirty
+		if doWB {
+			cp = ln.data
+			ln.dirty = false
+		}
+		c.mu.Unlock()
+		if doWB {
+			n.fab.writeLineHome(li, &cp)
+			n.stats.WriteBacks.Add(1)
+			written++
+		}
+	}
+	if written > 0 {
+		// One pipelined burst for the whole range, like hardware
+		// write-combining, rather than independent line round trips.
+		n.charge(n.globalCost(written))
+	}
+}
+
+// InvalidateRange discards every cached line overlapping [g, g+size).
+// Dirty data in those lines is LOST, exactly like an invalidate-without-
+// write-back instruction; use FlushRange to keep it.
+func (n *Node) InvalidateRange(g GPtr, size uint64) {
+	n.checkAlive()
+	if size == 0 {
+		return
+	}
+	n.fab.checkRange(g, size)
+	c := n.cache
+	first, last := g.Line(), g.Add(size-1).Line()
+	c.mu.Lock()
+	for li := first; li <= last; li++ {
+		if c.drop(li) != nil {
+			n.stats.Invalidates.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	n.charge(n.fab.lat.LocalNS)
+}
+
+// FlushRange writes back then invalidates every line in [g, g+size): after
+// it returns, home memory holds this node's writes and the next load
+// re-fetches from home.
+func (n *Node) FlushRange(g GPtr, size uint64) {
+	n.WriteBackRange(g, size)
+	n.InvalidateRange(g, size)
+}
+
+// WriteBackAll pushes every dirty line in the node's cache to home memory.
+func (n *Node) WriteBackAll() {
+	n.checkAlive()
+	c := n.cache
+	c.mu.Lock()
+	type wb struct {
+		li   uint64
+		data [LineSize]byte
+	}
+	var dirty []wb
+	for li, ln := range c.lines {
+		if ln.dirty {
+			dirty = append(dirty, wb{li, ln.data})
+			ln.dirty = false
+		}
+	}
+	c.mu.Unlock()
+	for i := range dirty {
+		n.fab.writeLineHome(dirty[i].li, &dirty[i].data)
+		n.stats.WriteBacks.Add(1)
+	}
+	if len(dirty) > 0 {
+		n.charge(n.globalCost(len(dirty)))
+	}
+}
+
+// InvalidateAll empties the node's cache, losing dirty data.
+func (n *Node) InvalidateAll() {
+	n.checkAlive()
+	c := n.cache
+	c.mu.Lock()
+	dropped := len(c.lines)
+	c.reset()
+	c.mu.Unlock()
+	n.stats.Invalidates.Add(uint64(dropped))
+	n.charge(n.fab.lat.LocalNS)
+}
+
+// FlushAll writes back every dirty line, then empties the cache.
+func (n *Node) FlushAll() {
+	n.WriteBackAll()
+	n.InvalidateAll()
+}
+
+// --- Cost hooks for the layers above ---
+
+// ChargeLocal charges the cost of one node-local memory access. Higher
+// layers use it to model work on private (non-fabric) data.
+func (n *Node) ChargeLocal() { n.charge(n.fab.lat.LocalNS) }
+
+// ChargeNS charges an arbitrary modeled cost, e.g. software-stack
+// processing in the networking baseline.
+func (n *Node) ChargeNS(ns int) { n.charge(ns) }

@@ -1,0 +1,220 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"flacos/internal/fabric"
+)
+
+func arena(t *testing.T, nodes int, mb uint64) (*fabric.Fabric, *Arena) {
+	t.Helper()
+	f := fabric.New(fabric.Config{GlobalSize: (mb + 4) << 20, Nodes: nodes})
+	return f, NewArena(f, mb<<20)
+}
+
+func TestClassFor(t *testing.T) {
+	cases := map[uint64]uint64{1: 64, 64: 64, 65: 128, 4096: 4096, 4097: 8192, 65536: 65536}
+	for in, want := range cases {
+		if got := ClassSize(in); got != want {
+			t.Errorf("ClassSize(%d) = %d, want %d", in, got, want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("oversize should panic")
+			}
+		}()
+		ClassSize(MaxAlloc + 1)
+	}()
+}
+
+func TestAllocZeroedAndAligned(t *testing.T) {
+	f, a := arena(t, 1, 2)
+	na := a.NodeAllocator(f.Node(0), 0)
+	seen := map[fabric.GPtr]bool{}
+	for i := 0; i < 100; i++ {
+		g := na.Alloc(100)
+		if !g.AlignedTo(fabric.LineSize) {
+			t.Fatalf("block %v not line aligned", g)
+		}
+		if seen[g] {
+			t.Fatalf("block %v handed out twice", g)
+		}
+		seen[g] = true
+		buf := make([]byte, 128)
+		f.Node(0).Read(g, buf)
+		for j, b := range buf {
+			if b != 0 {
+				t.Fatalf("alloc %d byte %d = %d, want 0", i, j, b)
+			}
+		}
+	}
+}
+
+func TestFreeReuseSameClass(t *testing.T) {
+	f, a := arena(t, 1, 2)
+	na := a.NodeAllocator(f.Node(0), 4)
+	g1 := na.Alloc(64)
+	na.Free(g1)
+	g2 := na.Alloc(64)
+	if g1 != g2 {
+		t.Fatalf("magazine should recycle %v, got %v", g1, g2)
+	}
+	allocs, frees := na.Stats()
+	if allocs != 2 || frees != 1 {
+		t.Fatalf("stats = %d/%d", allocs, frees)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	f, a := arena(t, 1, 2)
+	na := a.NodeAllocator(f.Node(0), 0)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil free", func() { na.Free(fabric.Nil) })
+	mustPanic("outside arena", func() { na.Free(fabric.GPtr(8)) })
+	mustPanic("unassigned slab", func() { na.Free(a.base.Add(10 * SlabSize)) })
+}
+
+func TestCrossNodeAllocFree(t *testing.T) {
+	// A block allocated on node 0, published, and freed on node 1 must be
+	// reusable: class recovery and the central lists are all atomics-based.
+	f, a := arena(t, 2, 2)
+	na0 := a.NodeAllocator(f.Node(0), 0)
+	na1 := a.NodeAllocator(f.Node(1), 0)
+	g := na0.Alloc(1024)
+	na1.Free(g)
+	na1.FlushMagazines()
+	// Node 0 can get it back via the central list eventually.
+	seen := false
+	for i := 0; i < 1000 && !seen; i++ {
+		b := na0.AllocUninit(1024)
+		if b == g {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("freed block never recycled through central list")
+	}
+}
+
+func TestConcurrentAllocFreeStress(t *testing.T) {
+	const workers, iters = 4, 500
+	f, a := arena(t, 4, 8)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	claimed := map[fabric.GPtr]int{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			na := a.NodeAllocator(f.Node(w), 8)
+			local := make([]fabric.GPtr, 0, 16)
+			for i := 0; i < iters; i++ {
+				g := na.AllocUninit(256)
+				mu.Lock()
+				if owner, dup := claimed[g]; dup {
+					mu.Unlock()
+					t.Errorf("block %v double-allocated (worker %d and %d)", g, owner, w)
+					return
+				}
+				claimed[g] = w
+				mu.Unlock()
+				local = append(local, g)
+				if len(local) == 16 {
+					for _, b := range local {
+						mu.Lock()
+						delete(claimed, b)
+						mu.Unlock()
+						na.Free(b)
+					}
+					local = local[:0]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	f := fabric.New(fabric.Config{GlobalSize: 2 << 20, Nodes: 1})
+	a := NewArena(f, SlabSize) // exactly one slab
+	na := a.NodeAllocator(f.Node(0), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustion should panic")
+		}
+	}()
+	for i := 0; i < SlabSize/64+2; i++ {
+		na.AllocUninit(64) // never freed
+	}
+}
+
+func TestRelocatePreservesContents(t *testing.T) {
+	f, a := arena(t, 1, 2)
+	n := f.Node(0)
+	na := a.NodeAllocator(n, 0)
+	g := na.Alloc(512)
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	n.Write(g, data)
+	n.WriteBackRange(g, 512)
+
+	var newG fabric.GPtr
+	release := na.Relocate(g, 512, func(ng fabric.GPtr) { newG = ng })
+	if newG.IsNil() || newG == g {
+		t.Fatalf("relocate gave %v", newG)
+	}
+	got := make([]byte, 512)
+	n.InvalidateRange(newG, 512)
+	n.Read(newG, got)
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+	release()
+	_, frees := na.Stats()
+	if frees != 1 {
+		t.Fatalf("frees = %d", frees)
+	}
+}
+
+func TestQuickAllocWriteReadFree(t *testing.T) {
+	f, a := arena(t, 1, 8)
+	n := f.Node(0)
+	na := a.NodeAllocator(n, 8)
+	prop := func(sz uint16, fill byte) bool {
+		size := uint64(sz%4096) + 1
+		g := na.Alloc(size)
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = fill
+		}
+		n.Write(g, buf)
+		got := make([]byte, size)
+		n.Read(g, got)
+		for i := range got {
+			if got[i] != fill {
+				return false
+			}
+		}
+		na.Free(g)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package alloc
+
+import (
+	"testing"
+
+	"flacos/internal/fabric"
+)
+
+func BenchmarkAllocFreeMagazine(b *testing.B) {
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 1})
+	a := NewArena(f, 32<<20)
+	na := a.NodeAllocator(f.Node(0), 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := na.AllocUninit(256)
+		na.Free(g)
+	}
+}
+
+func BenchmarkAllocZeroed4K(b *testing.B) {
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 1})
+	a := NewArena(f, 32<<20)
+	na := a.NodeAllocator(f.Node(0), 32)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := na.Alloc(4096)
+		na.Free(g)
+	}
+}
+
+func BenchmarkCrossNodeFreeRecycle(b *testing.B) {
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 2})
+	a := NewArena(f, 32<<20)
+	na0 := a.NodeAllocator(f.Node(0), 0) // magazine off: force central lists
+	na1 := a.NodeAllocator(f.Node(1), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := na0.AllocUninit(512)
+		na1.Free(g)
+		na1.FlushMagazines()
+	}
+}

@@ -1,0 +1,101 @@
+package alloc
+
+import (
+	"sort"
+
+	"flacos/internal/fabric"
+)
+
+// HotnessTracker records per-object access frequency with exponentially
+// decayed counters, the signal §3.2's layout optimization uses to pack hot
+// objects together (better locality, fewer fetched lines) and to steer
+// placement across memory tiers. Tracking state is node-local bookkeeping.
+// Not safe for concurrent use; give each worker its own tracker or guard it.
+type HotnessTracker struct {
+	decay float64
+	heat  map[fabric.GPtr]float64
+}
+
+// NewHotnessTracker creates a tracker with the given decay factor in (0,1];
+// each Decay call multiplies every counter by it.
+func NewHotnessTracker(decay float64) *HotnessTracker {
+	if decay <= 0 || decay > 1 {
+		panic("alloc: decay must be in (0,1]")
+	}
+	return &HotnessTracker{decay: decay, heat: make(map[fabric.GPtr]float64)}
+}
+
+// Touch records one access to the object at g.
+func (h *HotnessTracker) Touch(g fabric.GPtr) { h.heat[g]++ }
+
+// Heat returns the object's current decayed access count.
+func (h *HotnessTracker) Heat(g fabric.GPtr) float64 { return h.heat[g] }
+
+// Decay ages every counter and drops objects that have gone cold (<0.5).
+func (h *HotnessTracker) Decay() {
+	for g, v := range h.heat {
+		v *= h.decay
+		if v < 0.5 {
+			delete(h.heat, g)
+		} else {
+			h.heat[g] = v
+		}
+	}
+}
+
+// Forget removes an object (e.g. after Free or Relocate).
+func (h *HotnessTracker) Forget(g fabric.GPtr) { delete(h.heat, g) }
+
+// Rename transfers heat from old to new after a relocation.
+func (h *HotnessTracker) Rename(old, new fabric.GPtr) {
+	if v, ok := h.heat[old]; ok {
+		delete(h.heat, old)
+		h.heat[new] += v
+	}
+}
+
+// TopK returns the k hottest objects, hottest first.
+func (h *HotnessTracker) TopK(k int) []fabric.GPtr {
+	type entry struct {
+		g fabric.GPtr
+		v float64
+	}
+	all := make([]entry, 0, len(h.heat))
+	for g, v := range h.heat {
+		all = append(all, entry{g, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].g < all[j].g
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]fabric.GPtr, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].g
+	}
+	return out
+}
+
+// PackHot relocates the tracker's k hottest objects (each objSize bytes)
+// into freshly allocated blocks, which the slab design places contiguously
+// when allocated back-to-back. update is invoked per object with (old, new)
+// so the caller can republish references; the returned release functions
+// free the old blocks and must be called (directly or via quiescence
+// retirement) once no reader can hold the old addresses.
+func (h *HotnessTracker) PackHot(na *NodeAllocator, k int, objSize uint64, update func(old, new fabric.GPtr)) []func() {
+	hot := h.TopK(k)
+	releases := make([]func(), 0, len(hot))
+	for _, old := range hot {
+		old := old
+		rel := na.Relocate(old, objSize, func(newG fabric.GPtr) {
+			h.Rename(old, newG)
+			update(old, newG)
+		})
+		releases = append(releases, rel)
+	}
+	return releases
+}

@@ -1,0 +1,104 @@
+package alloc
+
+import (
+	"testing"
+
+	"flacos/internal/fabric"
+)
+
+func TestHotnessTopKAndDecay(t *testing.T) {
+	h := NewHotnessTracker(0.5)
+	a, b, c := fabric.GPtr(64), fabric.GPtr(128), fabric.GPtr(192)
+	for i := 0; i < 10; i++ {
+		h.Touch(a)
+	}
+	for i := 0; i < 5; i++ {
+		h.Touch(b)
+	}
+	h.Touch(c)
+	top := h.TopK(2)
+	if len(top) != 2 || top[0] != a || top[1] != b {
+		t.Fatalf("TopK = %v", top)
+	}
+	if h.Heat(a) != 10 {
+		t.Fatalf("Heat(a) = %v", h.Heat(a))
+	}
+	// Five decays: a -> 0.3125 (dropped), all gone except none.
+	for i := 0; i < 5; i++ {
+		h.Decay()
+	}
+	if h.Heat(a) != 0 || len(h.TopK(10)) != 0 {
+		t.Fatalf("decay did not drop cold objects: heat(a)=%v", h.Heat(a))
+	}
+}
+
+func TestHotnessRenameForget(t *testing.T) {
+	h := NewHotnessTracker(0.9)
+	old, neu := fabric.GPtr(64), fabric.GPtr(128)
+	h.Touch(old)
+	h.Touch(old)
+	h.Rename(old, neu)
+	if h.Heat(old) != 0 || h.Heat(neu) != 2 {
+		t.Fatalf("rename: old=%v new=%v", h.Heat(old), h.Heat(neu))
+	}
+	h.Forget(neu)
+	if h.Heat(neu) != 0 {
+		t.Fatal("forget failed")
+	}
+}
+
+func TestBadDecayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decay 0 should panic")
+		}
+	}()
+	NewHotnessTracker(0)
+}
+
+func TestPackHotRelocatesHotObjects(t *testing.T) {
+	f, a := arena(t, 1, 2)
+	n := f.Node(0)
+	na := a.NodeAllocator(n, 0)
+	h := NewHotnessTracker(0.9)
+
+	objs := make([]fabric.GPtr, 4)
+	for i := range objs {
+		objs[i] = na.Alloc(64)
+		n.Store64(objs[i], uint64(i+1))
+		n.WriteBackRange(objs[i], 8)
+	}
+	// Touch objects 1 and 3 heavily.
+	for i := 0; i < 10; i++ {
+		h.Touch(objs[1])
+		h.Touch(objs[3])
+	}
+	h.Touch(objs[0])
+
+	moved := map[fabric.GPtr]fabric.GPtr{}
+	releases := h.PackHot(na, 2, 64, func(old, new fabric.GPtr) { moved[old] = new })
+	if len(moved) != 2 {
+		t.Fatalf("moved %d objects, want 2", len(moved))
+	}
+	for _, old := range []fabric.GPtr{objs[1], objs[3]} {
+		newG, ok := moved[old]
+		if !ok {
+			t.Fatalf("hot object %v not relocated", old)
+		}
+		n.InvalidateRange(newG, 8)
+		want := n.Load64(old) // old block still intact until release
+		if got := n.Load64(newG); got != want {
+			t.Fatalf("contents lost in relocation: %d != %d", got, want)
+		}
+		if h.Heat(newG) == 0 {
+			t.Fatal("heat not transferred to new address")
+		}
+	}
+	for _, r := range releases {
+		r()
+	}
+	_, frees := na.Stats()
+	if frees != 2 {
+		t.Fatalf("frees = %d, want 2", frees)
+	}
+}

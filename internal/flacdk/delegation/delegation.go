@@ -1,0 +1,218 @@
+// Package delegation implements FlacDK's delegation-based synchronization
+// (paper §3.2), in the style of ffwd/flat combining: data is partitioned,
+// each partition has an owner node, and other nodes access the partition by
+// posting requests into per-client slots in global memory that the owner
+// polls and executes on their behalf.
+//
+// The owner touches the partition's data only in its own local memory, so
+// the data structure itself needs no cross-node synchronization at all.
+// Polling is cheap on the non-coherent fabric because the per-client
+// request sequence words are PACKED eight to a cache line (the ffwd trick):
+// one invalidate + one line fetch observes eight clients at once. Request
+// payloads travel as plain cached data published with write-back; only the
+// publish words (request sequence, response sequence) use fabric atomics.
+//
+// Each client slot is owned by exactly one caller at a time, so the
+// sequence-number protocol needs no CAS: the client bumps its slot's
+// request sequence, the server echoes it in the response sequence.
+package delegation
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"flacos/internal/fabric"
+)
+
+// PayloadMax is the largest request or response payload, one cache line.
+const PayloadMax = fabric.LineSize
+
+const wordsPerLine = fabric.LineSize / fabric.WordSize
+
+// per-slot layout in the slot region:
+//
+//	line 0: request line  (word 0: op|len, rest: payload start)... payload
+//	line 1: request payload (PayloadMax bytes)
+//	line 2: response control (word 0: seq, word 1: status|len)
+//	line 3: response payload
+const slotSize = 4 * fabric.LineSize
+
+// Handler executes one delegated operation against the partition's local
+// data. It reads req, writes its reply into resp (capacity PayloadMax), and
+// returns the reply length and a status code the caller receives verbatim.
+type Handler func(op uint32, req []byte, resp []byte) (respLen int, status uint32)
+
+// Domain is one delegation domain: a slot array in global memory serving
+// one partition. Create it with NewDomain, attach the owner with Serve (or
+// Server/ServeOnce), and attach callers with Client.
+type Domain struct {
+	fab     *fabric.Fabric
+	slots   int
+	seqBase fabric.GPtr // packed request sequence words, 8 per line
+	base    fabric.GPtr // slot region
+	stopped atomic.Bool
+}
+
+// NewDomain reserves global memory for numSlots client slots.
+func NewDomain(f *fabric.Fabric, numSlots int) *Domain {
+	if numSlots <= 0 {
+		panic("delegation: numSlots must be positive")
+	}
+	seqLines := (numSlots + wordsPerLine - 1) / wordsPerLine
+	return &Domain{
+		fab:     f,
+		slots:   numSlots,
+		seqBase: f.Reserve(uint64(seqLines)*fabric.LineSize, fabric.LineSize),
+		base:    f.Reserve(uint64(numSlots)*slotSize, fabric.LineSize),
+	}
+}
+
+// Slots returns the number of client slots in the domain.
+func (d *Domain) Slots() int { return d.slots }
+
+func (d *Domain) reqSeqG(s int) fabric.GPtr  { return d.seqBase.Add(uint64(s) * fabric.WordSize) }
+func (d *Domain) reqMetaG(s int) fabric.GPtr { return d.base.Add(uint64(s) * slotSize) }
+func (d *Domain) reqPayG(s int) fabric.GPtr  { return d.reqMetaG(s).Add(fabric.LineSize) }
+func (d *Domain) rspSeqG(s int) fabric.GPtr  { return d.reqMetaG(s).Add(2 * fabric.LineSize) }
+func (d *Domain) rspMetaG(s int) fabric.GPtr { return d.reqMetaG(s).Add(2*fabric.LineSize + 8) }
+func (d *Domain) rspPayG(s int) fabric.GPtr  { return d.reqMetaG(s).Add(3 * fabric.LineSize) }
+
+// Stop makes the owner's Serve loop return after its current sweep.
+func (d *Domain) Stop() { d.stopped.Store(true) }
+
+// Server is the owner's polling state: the last sequence served per slot.
+type Server struct {
+	d          *Domain
+	node       *fabric.Node
+	handler    Handler
+	lastServed []uint64
+	req, resp  []byte
+}
+
+// Server binds the owner node's serving state.
+func (d *Domain) Server(n *fabric.Node, handler Handler) *Server {
+	return &Server{
+		d:          d,
+		node:       n,
+		handler:    handler,
+		lastServed: make([]uint64, d.slots),
+		req:        make([]byte, PayloadMax),
+		resp:       make([]byte, PayloadMax),
+	}
+}
+
+// ServeOnce sweeps every slot once, executing pending requests, and
+// returns how many it served. One invalidate + line fetch of the packed
+// sequence region observes every client's publish word.
+func (sv *Server) ServeOnce() int {
+	d, n := sv.d, sv.node
+	seqLines := uint64((d.slots+wordsPerLine-1)/wordsPerLine) * fabric.LineSize
+	n.InvalidateRange(d.seqBase, seqLines)
+	served := 0
+	for s := 0; s < d.slots; s++ {
+		seq := n.Load64(d.reqSeqG(s)) // plain load: freshly invalidated
+		if seq == sv.lastServed[s] {
+			continue
+		}
+		// Fetch the request line (meta + inline payload reference).
+		n.InvalidateRange(d.reqMetaG(s), fabric.LineSize)
+		meta := n.Load64(d.reqMetaG(s))
+		op := uint32(meta >> 32)
+		reqLen := int(uint32(meta))
+		if reqLen > 0 {
+			n.InvalidateRange(d.reqPayG(s), uint64(reqLen))
+			n.Read(d.reqPayG(s), sv.req[:reqLen])
+		}
+		respLen, status := sv.handler(op, sv.req[:reqLen], sv.resp)
+		if respLen > PayloadMax {
+			panic("delegation: handler response exceeds PayloadMax")
+		}
+		if respLen > 0 {
+			n.Write(d.rspPayG(s), sv.resp[:respLen])
+			n.WriteBackRange(d.rspPayG(s), uint64(respLen))
+		}
+		n.AtomicStore64(d.rspMetaG(s), uint64(status)<<32|uint64(uint32(respLen)))
+		n.AtomicStore64(d.rspSeqG(s), seq)
+		sv.lastServed[s] = seq
+		served++
+	}
+	return served
+}
+
+// Serve runs the owner loop on node n, polling every slot and executing
+// pending requests with handler, until Stop is called. It is the partition
+// owner's dedicated "server thread" in the delegation design.
+func (d *Domain) Serve(n *fabric.Node, handler Handler) {
+	sv := d.Server(n, handler)
+	for !d.stopped.Load() {
+		if sv.ServeOnce() == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Client is one caller's exclusive binding to a slot. A Client must not be
+// used concurrently from multiple goroutines (give each its own slot).
+type Client struct {
+	d    *Domain
+	n    *fabric.Node
+	slot int
+	seq  uint64
+}
+
+// Client binds node n to slot (0 <= slot < Slots()).
+func (d *Domain) Client(n *fabric.Node, slot int) *Client {
+	if slot < 0 || slot >= d.slots {
+		panic(fmt.Sprintf("delegation: slot %d out of range [0,%d)", slot, d.slots))
+	}
+	return &Client{d: d, n: n, slot: slot}
+}
+
+// Post publishes one operation into the client's slot without waiting:
+// meta and payload go out as one plain write-back burst, then the packed
+// sequence word publishes with a fabric atomic.
+func (c *Client) Post(op uint32, req []byte) {
+	if len(req) > PayloadMax {
+		panic(fmt.Sprintf("delegation: request %d exceeds max %d", len(req), PayloadMax))
+	}
+	d, n, s := c.d, c.n, c.slot
+	c.seq++
+	n.Store64(d.reqMetaG(s), uint64(op)<<32|uint64(uint32(len(req))))
+	if len(req) > 0 {
+		n.Write(d.reqPayG(s), req)
+	}
+	n.WriteBackRange(d.reqMetaG(s), 2*fabric.LineSize)
+	n.AtomicStore64(d.reqSeqG(s), c.seq)
+}
+
+// TryComplete checks whether the posted operation's response has arrived;
+// if so it copies the reply into resp and returns done=true.
+func (c *Client) TryComplete(resp []byte) (respLen int, status uint32, done bool) {
+	d, n, s := c.d, c.n, c.slot
+	if n.AtomicLoad64(d.rspSeqG(s)) != c.seq {
+		return 0, 0, false
+	}
+	meta := n.AtomicLoad64(d.rspMetaG(s))
+	status = uint32(meta >> 32)
+	respLen = int(uint32(meta))
+	if respLen > 0 {
+		n.InvalidateRange(d.rspPayG(s), uint64(respLen))
+		n.Read(d.rspPayG(s), resp[:respLen])
+	}
+	return respLen, status, true
+}
+
+// Call posts one operation and spins until the owner's response arrives.
+// resp (capacity >= PayloadMax) receives the reply; Call returns the reply
+// length and the handler's status code.
+func (c *Client) Call(op uint32, req []byte, resp []byte) (respLen int, status uint32) {
+	c.Post(op, req)
+	for {
+		n, st, done := c.TryComplete(resp)
+		if done {
+			return n, st
+		}
+		runtime.Gosched()
+	}
+}

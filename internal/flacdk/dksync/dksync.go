@@ -1,0 +1,194 @@
+// Package dksync is FlacDK's synchronization layer over the non-coherent
+// fabric (paper §3.2).
+//
+// It provides the level-1/level-2 primitives: spin and ticket locks built on
+// fabric atomics, sequence locks, and the LockedRegion discipline that makes
+// lock-based critical sections *correct* on incoherent memory — at the cost
+// the paper calls out: every critical section must invalidate the protected
+// data on entry and flush it on exit, turning each section into multiple
+// global-memory round trips. The replication, delegation and quiescence
+// packages are the lock-free alternatives FlacOS actually prefers.
+package dksync
+
+import (
+	"runtime"
+
+	"flacos/internal/fabric"
+)
+
+// SpinLock is a test-and-set lock on one dedicated global cache line.
+// It is correct on non-coherent memory because fabric atomics bypass the
+// caches — but every acquire attempt is a full fabric round trip.
+type SpinLock struct {
+	g fabric.GPtr
+}
+
+// NewSpinLock reserves a cache line for the lock and returns it unlocked.
+func NewSpinLock(f *fabric.Fabric) SpinLock {
+	return SpinLock{g: f.Reserve(fabric.LineSize, fabric.LineSize)}
+}
+
+// SpinLockAt places a lock at an existing, zeroed, line-aligned address.
+func SpinLockAt(g fabric.GPtr) SpinLock {
+	if !g.AlignedTo(fabric.LineSize) {
+		panic("dksync: SpinLockAt requires line alignment")
+	}
+	return SpinLock{g: g}
+}
+
+// Lock acquires the lock on behalf of node n, spinning with exponential
+// backoff. The stored value records the owner node (id+1) for debugging.
+func (l SpinLock) Lock(n *fabric.Node) {
+	backoff := 1
+	for !n.CAS64(l.g, 0, uint64(n.ID())+1) {
+		for i := 0; i < backoff; i++ {
+			runtime.Gosched()
+		}
+		if backoff < 64 {
+			backoff <<= 1
+		}
+	}
+}
+
+// TryLock attempts one acquisition and reports success.
+func (l SpinLock) TryLock(n *fabric.Node) bool {
+	return n.CAS64(l.g, 0, uint64(n.ID())+1)
+}
+
+// Unlock releases the lock. It panics if n does not hold it, because an
+// unlock-by-non-owner is always a bug worth failing loudly on.
+func (l SpinLock) Unlock(n *fabric.Node) {
+	if !n.CAS64(l.g, uint64(n.ID())+1, 0) {
+		panic("dksync: SpinLock.Unlock by non-owner")
+	}
+}
+
+// Holder returns the node id currently holding the lock, or -1 if free.
+func (l SpinLock) Holder(n *fabric.Node) int {
+	v := n.AtomicLoad64(l.g)
+	if v == 0 {
+		return -1
+	}
+	return int(v - 1)
+}
+
+// TicketLock is a fair FIFO lock: two fabric words, next-ticket and
+// now-serving, each on its own cache line.
+type TicketLock struct {
+	next    fabric.GPtr
+	serving fabric.GPtr
+}
+
+// NewTicketLock reserves the lock's two cache lines.
+func NewTicketLock(f *fabric.Fabric) TicketLock {
+	return TicketLock{
+		next:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		serving: f.Reserve(fabric.LineSize, fabric.LineSize),
+	}
+}
+
+// Lock takes a ticket and spins until served.
+func (l TicketLock) Lock(n *fabric.Node) {
+	t := n.Add64(l.next, 1) - 1
+	for n.AtomicLoad64(l.serving) != t {
+		runtime.Gosched()
+	}
+}
+
+// Unlock admits the next ticket holder.
+func (l TicketLock) Unlock(n *fabric.Node) {
+	n.Add64(l.serving, 1)
+}
+
+// SeqLock is a writer-versioned lock for read-mostly data: writers bump the
+// version to odd on entry and even on exit; readers retry if the version was
+// odd or changed across their read. Readers never write shared state.
+type SeqLock struct {
+	g fabric.GPtr
+}
+
+// NewSeqLock reserves the version word's cache line.
+func NewSeqLock(f *fabric.Fabric) SeqLock {
+	return SeqLock{g: f.Reserve(fabric.LineSize, fabric.LineSize)}
+}
+
+// WriteBegin enters the writer's critical section. Writers must already be
+// mutually excluded (e.g. by a SpinLock) — SeqLock orders readers only.
+func (l SeqLock) WriteBegin(n *fabric.Node) {
+	v := n.Add64(l.g, 1)
+	if v%2 == 0 {
+		panic("dksync: SeqLock.WriteBegin with concurrent writer")
+	}
+	n.Fence()
+}
+
+// WriteEnd leaves the writer's critical section.
+func (l SeqLock) WriteEnd(n *fabric.Node) {
+	n.Fence()
+	v := n.Add64(l.g, 1)
+	if v%2 != 0 {
+		panic("dksync: SeqLock.WriteEnd without WriteBegin")
+	}
+}
+
+// ReadBegin returns a version token; spin until no writer is active.
+func (l SeqLock) ReadBegin(n *fabric.Node) uint64 {
+	for {
+		v := n.AtomicLoad64(l.g)
+		if v%2 == 0 {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// ReadRetry reports whether a read section that began at version v must be
+// retried because a writer intervened.
+func (l SeqLock) ReadRetry(n *fabric.Node, v uint64) bool {
+	n.Fence()
+	return n.AtomicLoad64(l.g) != v
+}
+
+// LockedRegion couples a SpinLock with the cache-maintenance discipline a
+// critical section needs on non-coherent memory: invalidate the protected
+// range on entry (to observe other nodes' writes) and flush it on exit (to
+// publish this node's writes before the lock is released).
+//
+// This is the paper's "existing lock-based approach": correct, but each
+// section pays invalidate + flush of the whole protected range on top of
+// the lock's fabric atomics. Ablation A quantifies exactly this cost.
+type LockedRegion struct {
+	lock SpinLock
+	// Data is the protected global range.
+	Data fabric.GPtr
+	// Size is the protected range's length in bytes.
+	Size uint64
+}
+
+// NewLockedRegion reserves size bytes of global memory plus a lock line.
+func NewLockedRegion(f *fabric.Fabric, size uint64) *LockedRegion {
+	return &LockedRegion{
+		lock: NewSpinLock(f),
+		Data: f.Reserve(fabric.AlignUp64(size, fabric.LineSize), fabric.LineSize),
+		Size: size,
+	}
+}
+
+// Do runs fn with the region locked and cache-consistent: fn sees the
+// latest committed contents and its writes are published before unlock.
+func (r *LockedRegion) Do(n *fabric.Node, fn func()) {
+	r.lock.Lock(n)
+	n.InvalidateRange(r.Data, r.Size)
+	fn()
+	n.FlushRange(r.Data, r.Size)
+	r.lock.Unlock(n)
+}
+
+// DoRead runs fn with the region locked for reading: it invalidates on
+// entry but skips the exit flush (fn must not write the region).
+func (r *LockedRegion) DoRead(n *fabric.Node, fn func()) {
+	r.lock.Lock(n)
+	n.InvalidateRange(r.Data, r.Size)
+	fn()
+	r.lock.Unlock(n)
+}

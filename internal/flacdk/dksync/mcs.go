@@ -1,0 +1,82 @@
+package dksync
+
+import (
+	"fmt"
+	"runtime"
+
+	"flacos/internal/fabric"
+)
+
+// MCSLock is a queue lock over the non-coherent fabric: each waiter spins
+// on its OWN cache-line-sized queue node in global memory rather than on
+// the lock word, so under contention each handoff touches exactly one
+// waiter's line instead of stampeding every node onto one location — the
+// classic remedy for the contention §2.2 describes, and the strongest
+// member of the lock-based tier FlacDK offers.
+//
+// Queue-node layout (one line each): word 0 = locked flag (1 while the
+// holder must wait), word 1 = next pointer (GPtr of the successor's node).
+// All accesses use fabric atomics.
+type MCSLock struct {
+	tailG fabric.GPtr // atomic: GPtr of the last queue node, 0 = free
+}
+
+// MCSNode is one waiter's queue node. A node may be reused after Unlock
+// returns, but never by two concurrent Lock calls.
+type MCSNode struct {
+	g fabric.GPtr
+}
+
+// NewMCSLock reserves the lock word.
+func NewMCSLock(f *fabric.Fabric) *MCSLock {
+	return &MCSLock{tailG: f.Reserve(fabric.LineSize, fabric.LineSize)}
+}
+
+// NewMCSNode reserves one waiter's queue node.
+func NewMCSNode(f *fabric.Fabric) *MCSNode {
+	return &MCSNode{g: f.Reserve(fabric.LineSize, fabric.LineSize)}
+}
+
+func (q *MCSNode) lockedG() fabric.GPtr { return q.g }
+func (q *MCSNode) nextG() fabric.GPtr   { return q.g.Add(8) }
+
+// Lock enqueues the caller's node and waits until it reaches the head.
+func (l *MCSLock) Lock(n *fabric.Node, my *MCSNode) {
+	n.AtomicStore64(my.lockedG(), 1)
+	n.AtomicStore64(my.nextG(), 0)
+	prev := n.Swap64(l.tailG, uint64(my.g))
+	if prev == 0 {
+		return // queue was empty: we hold the lock
+	}
+	// Link behind the previous tail, then spin on OUR OWN flag.
+	n.AtomicStore64(fabric.GPtr(prev).Add(8), uint64(my.g))
+	for n.AtomicLoad64(my.lockedG()) == 1 {
+		runtime.Gosched()
+	}
+}
+
+// Unlock passes the lock to the successor, or frees it if none.
+func (l *MCSLock) Unlock(n *fabric.Node, my *MCSNode) {
+	next := n.AtomicLoad64(my.nextG())
+	if next == 0 {
+		// No known successor: try to swing the tail back to free.
+		if n.CAS64(l.tailG, uint64(my.g), 0) {
+			return
+		}
+		// A successor is in the middle of enqueueing; wait for its link.
+		for {
+			next = n.AtomicLoad64(my.nextG())
+			if next != 0 {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	n.AtomicStore64(fabric.GPtr(next), 0) // release the successor
+}
+
+// Holder reports whether the lock is currently held (diagnostics only).
+func (l *MCSLock) Held(n *fabric.Node) bool { return n.AtomicLoad64(l.tailG) != 0 }
+
+// String identifies the lock for debugging.
+func (l *MCSLock) String() string { return fmt.Sprintf("mcs@%v", l.tailG) }

@@ -1,0 +1,230 @@
+package ds
+
+import (
+	"fmt"
+
+	"flacos/internal/fabric"
+)
+
+// HashMap is a fixed-capacity open-addressing hash table in global memory
+// mapping non-zero uint64 keys to uint64 values below 2^63, safe for
+// concurrent use from every node.
+//
+// Each slot is two fabric words: a key word claimed with CAS and a value
+// word that encodes presence in its low bit (so a concurrent reader can
+// never observe a claimed-but-unwritten value). Deleted slots become
+// tombstones and are not reused — the concurrent-probe-safe behaviour for
+// a structure whose FlacOS uses (page-cache index, socket registry, page
+// dedup table) are insert-heavy and delete-rare. Size accordingly.
+type HashMap struct {
+	slots    fabric.GPtr
+	capacity uint64 // power of two
+	countG   fabric.GPtr
+}
+
+const tombstone = ^uint64(0)
+
+// NewHashMap reserves a table with at least capacity slots (rounded up to
+// a power of two).
+func NewHashMap(f *fabric.Fabric, capacity uint64) *HashMap {
+	c := uint64(8)
+	for c < capacity {
+		c <<= 1
+	}
+	return &HashMap{
+		slots:    f.Reserve(c*2*fabric.WordSize, fabric.LineSize),
+		capacity: c,
+		countG:   f.Reserve(fabric.LineSize, fabric.LineSize),
+	}
+}
+
+// Cap returns the table's slot capacity.
+func (m *HashMap) Cap() uint64 { return m.capacity }
+
+// Len returns the number of live entries.
+func (m *HashMap) Len(n *fabric.Node) uint64 { return n.AtomicLoad64(m.countG) }
+
+func (m *HashMap) keyG(i uint64) fabric.GPtr   { return m.slots.Add(i * 2 * fabric.WordSize) }
+func (m *HashMap) valueG(i uint64) fabric.GPtr { return m.keyG(i).Add(fabric.WordSize) }
+
+// mix is a 64-bit finalizer (splitmix64) for slot hashing.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func checkKey(key uint64) {
+	if key == 0 || key == tombstone {
+		panic(fmt.Sprintf("ds: invalid HashMap key %#x", key))
+	}
+}
+
+// Put inserts or updates key -> value. It returns the previous value and
+// whether the key was already present. value must be below 2^63.
+func (m *HashMap) Put(n *fabric.Node, key, value uint64) (prev uint64, existed bool) {
+	checkKey(key)
+	if value >= 1<<63 {
+		panic("ds: HashMap value must be below 2^63")
+	}
+	enc := value<<1 | 1
+	for i, probes := mix(key)&(m.capacity-1), uint64(0); probes < m.capacity; i, probes = (i+1)&(m.capacity-1), probes+1 {
+		k := n.AtomicLoad64(m.keyG(i))
+		switch k {
+		case 0:
+			if !n.CAS64(m.keyG(i), 0, key) {
+				// Lost the slot; re-examine it (the winner may be our key).
+				i = (i - 1) & (m.capacity - 1)
+				probes--
+				continue
+			}
+			n.AtomicStore64(m.valueG(i), enc)
+			n.Add64(m.countG, 1)
+			return 0, false
+		case key:
+			old := n.Swap64(m.valueG(i), enc)
+			if n.AtomicLoad64(m.keyG(i)) != key {
+				// A concurrent Delete tombstoned the slot around our value
+				// write; our value must not live in a dead slot. Undo and
+				// retry the whole Put (it will claim a fresh slot).
+				n.AtomicStore64(m.valueG(i), 0)
+				return m.Put(n, key, value)
+			}
+			if old == 0 {
+				// The inserting node had claimed the key but not yet stored
+				// the value; treat as fresh insert (it has no previous value).
+				return 0, false
+			}
+			return old >> 1, true
+		}
+	}
+	panic(fmt.Sprintf("ds: HashMap full (capacity %d, tombstones count)", m.capacity))
+}
+
+// Get returns the value for key and whether it is present.
+func (m *HashMap) Get(n *fabric.Node, key uint64) (uint64, bool) {
+	checkKey(key)
+	for i, probes := mix(key)&(m.capacity-1), uint64(0); probes < m.capacity; i, probes = (i+1)&(m.capacity-1), probes+1 {
+		k := n.AtomicLoad64(m.keyG(i))
+		if k == 0 {
+			return 0, false
+		}
+		if k != key {
+			continue // occupied by another key or tombstone: keep probing
+		}
+		v := n.AtomicLoad64(m.valueG(i))
+		if v&1 == 0 {
+			return 0, false // claimed but value not yet published, or deleted
+		}
+		return v >> 1, true
+	}
+	return 0, false
+}
+
+// PutIfAbsent inserts key -> value only if key is absent. It returns the
+// value actually mapped (the existing one on conflict) and whether this
+// call inserted it. Racing installers therefore agree on one winner — the
+// install protocol the shared page cache uses so concurrent misses on two
+// nodes end up sharing a single frame.
+func (m *HashMap) PutIfAbsent(n *fabric.Node, key, value uint64) (actual uint64, inserted bool) {
+	checkKey(key)
+	if value >= 1<<63 {
+		panic("ds: HashMap value must be below 2^63")
+	}
+	enc := value<<1 | 1
+	for i, probes := mix(key)&(m.capacity-1), uint64(0); probes < m.capacity; i, probes = (i+1)&(m.capacity-1), probes+1 {
+		k := n.AtomicLoad64(m.keyG(i))
+		switch k {
+		case 0:
+			if !n.CAS64(m.keyG(i), 0, key) {
+				i = (i - 1) & (m.capacity - 1)
+				probes--
+				continue
+			}
+			n.AtomicStore64(m.valueG(i), enc)
+			n.Add64(m.countG, 1)
+			return value, true
+		case key:
+			for {
+				v := n.AtomicLoad64(m.valueG(i))
+				if v&1 == 1 {
+					return v >> 1, false
+				}
+				// The claimer has not yet published its value (or a racing
+				// delete). Re-check the key; spin briefly otherwise.
+				if n.AtomicLoad64(m.keyG(i)) != key {
+					break // tombstoned: resume probing
+				}
+			}
+		}
+	}
+	panic(fmt.Sprintf("ds: HashMap full (capacity %d)", m.capacity))
+}
+
+// CompareAndSwap replaces key's value with new only if it currently equals
+// old. It returns false if the key is absent or the value differs. Both
+// values must be below 2^63.
+func (m *HashMap) CompareAndSwap(n *fabric.Node, key, old, new uint64) bool {
+	checkKey(key)
+	if old >= 1<<63 || new >= 1<<63 {
+		panic("ds: HashMap value must be below 2^63")
+	}
+	for i, probes := mix(key)&(m.capacity-1), uint64(0); probes < m.capacity; i, probes = (i+1)&(m.capacity-1), probes+1 {
+		k := n.AtomicLoad64(m.keyG(i))
+		if k == 0 {
+			return false
+		}
+		if k != key {
+			continue
+		}
+		return n.CAS64(m.valueG(i), old<<1|1, new<<1|1)
+	}
+	return false
+}
+
+// Delete removes key, returning its value and whether it was present. The
+// slot becomes a tombstone.
+func (m *HashMap) Delete(n *fabric.Node, key uint64) (uint64, bool) {
+	checkKey(key)
+	for i, probes := mix(key)&(m.capacity-1), uint64(0); probes < m.capacity; i, probes = (i+1)&(m.capacity-1), probes+1 {
+		k := n.AtomicLoad64(m.keyG(i))
+		if k == 0 {
+			return 0, false
+		}
+		if k != key {
+			continue
+		}
+		if !n.CAS64(m.keyG(i), key, tombstone) {
+			return 0, false // concurrent delete won
+		}
+		old := n.Swap64(m.valueG(i), 0)
+		if old&1 == 0 {
+			return 0, false
+		}
+		n.Add64(m.countG, ^uint64(0)) // -1
+		return old >> 1, true
+	}
+	return 0, false
+}
+
+// Range calls fn for every live entry as observed during one pass; entries
+// concurrently inserted or deleted may or may not be seen. fn returning
+// false stops the walk.
+func (m *HashMap) Range(n *fabric.Node, fn func(key, value uint64) bool) {
+	for i := uint64(0); i < m.capacity; i++ {
+		k := n.AtomicLoad64(m.keyG(i))
+		if k == 0 || k == tombstone {
+			continue
+		}
+		v := n.AtomicLoad64(m.valueG(i))
+		if v&1 == 0 {
+			continue
+		}
+		if !fn(k, v>>1) {
+			return
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package ds
+
+import (
+	"fmt"
+
+	"flacos/internal/fabric"
+)
+
+// Allocator is the node-allocator subset the radix tree needs.
+type Allocator interface {
+	// Alloc returns a zero-initialized global block of at least size bytes.
+	Alloc(size uint64) fabric.GPtr
+}
+
+// RadixTree is a lock-free radix tree in global memory mapping fixed-width
+// keys to uint64 values, usable concurrently from every node. Interior
+// nodes are 256-way fan-out tables of child pointers installed with CAS;
+// leaf tables hold raw value words. FlacOS uses the same shape for its
+// shared page table (memsys builds its own, hardware-layout one) and for
+// file page indexes.
+//
+// The value 0 means "absent"; store v+1 style encodings if 0 is meaningful.
+type RadixTree struct {
+	rootG  fabric.GPtr // the root table (allocated eagerly)
+	levels int         // number of 8-bit levels
+}
+
+const radixFanout = 256
+const radixNodeSize = radixFanout * fabric.WordSize // 2 KiB
+
+// NewRadixTree creates a tree for keys of keyBits (8..64, multiple of 8).
+func NewRadixTree(f *fabric.Fabric, a Allocator, keyBits int) *RadixTree {
+	if keyBits < 8 || keyBits > 64 || keyBits%8 != 0 {
+		panic(fmt.Sprintf("ds: radix keyBits %d must be a multiple of 8 in [8,64]", keyBits))
+	}
+	return &RadixTree{rootG: a.Alloc(radixNodeSize), levels: keyBits / 8}
+}
+
+// Levels returns the number of 8-bit levels.
+func (t *RadixTree) Levels() int { return t.levels }
+
+func (t *RadixTree) slot(node fabric.GPtr, key uint64, level int) fabric.GPtr {
+	shift := uint((t.levels - 1 - level) * 8)
+	idx := (key >> shift) & 0xff
+	return node.Add(idx * fabric.WordSize)
+}
+
+// descend walks to the leaf slot for key, creating interior nodes with a
+// (alloc may be nil for read-only walks; missing nodes end the walk).
+func (t *RadixTree) descend(n *fabric.Node, a Allocator, key uint64) fabric.GPtr {
+	node := t.rootG
+	for level := 0; level < t.levels-1; level++ {
+		s := t.slot(node, key, level)
+		child := fabric.GPtr(n.AtomicLoad64(s))
+		if child.IsNil() {
+			if a == nil {
+				return fabric.Nil
+			}
+			fresh := a.Alloc(radixNodeSize)
+			if n.CAS64(s, 0, uint64(fresh)) {
+				child = fresh
+			} else {
+				// Lost the install race; the winner's node is in place. The
+				// fresh node was never published, so it simply leaks back to
+				// the allocator's accounting — acceptable for interior nodes,
+				// which are never freed anyway.
+				child = fabric.GPtr(n.AtomicLoad64(s))
+			}
+		}
+		node = child
+	}
+	return t.slot(node, key, t.levels-1)
+}
+
+// Put maps key -> value (value 0 erases). Returns the previous value.
+func (t *RadixTree) Put(n *fabric.Node, a Allocator, key, value uint64) uint64 {
+	t.checkKey(key)
+	leaf := t.descend(n, a, key)
+	return n.Swap64(leaf, value)
+}
+
+// CompareAndSwap installs value only if the slot currently holds old.
+func (t *RadixTree) CompareAndSwap(n *fabric.Node, a Allocator, key, old, value uint64) bool {
+	t.checkKey(key)
+	leaf := t.descend(n, a, key)
+	return n.CAS64(leaf, old, value)
+}
+
+// Get returns the value for key (0 if absent).
+func (t *RadixTree) Get(n *fabric.Node, key uint64) uint64 {
+	t.checkKey(key)
+	leaf := t.descend(n, nil, key)
+	if leaf.IsNil() {
+		return 0
+	}
+	return n.AtomicLoad64(leaf)
+}
+
+// Delete erases key, returning the previous value.
+func (t *RadixTree) Delete(n *fabric.Node, key uint64) uint64 {
+	t.checkKey(key)
+	leaf := t.descend(n, nil, key)
+	if leaf.IsNil() {
+		return 0
+	}
+	return n.Swap64(leaf, 0)
+}
+
+func (t *RadixTree) checkKey(key uint64) {
+	if t.levels < 8 && key>>(uint(t.levels)*8) != 0 {
+		panic(fmt.Sprintf("ds: radix key %#x exceeds %d-bit keyspace", key, t.levels*8))
+	}
+}

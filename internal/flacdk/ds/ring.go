@@ -1,0 +1,217 @@
+package ds
+
+import (
+	"fmt"
+	"runtime"
+
+	"flacos/internal/fabric"
+)
+
+// SPSCRing is a single-producer single-consumer ring of variable-length
+// messages in global memory: the zero-copy data plane FlacOS IPC builds on
+// (§3.5). Head and tail are fabric atomics; message payloads are plain
+// cached data published with write-back and consumed after invalidation —
+// the "streaming access synchronized via cache invalidation" pattern the
+// paper describes for shared data buffers.
+type SPSCRing struct {
+	headG    fabric.GPtr // atomic: consumer cursor
+	tailG    fabric.GPtr // atomic: producer cursor
+	slots    fabric.GPtr
+	slotSize uint64 // per-slot bytes, including the 8-byte length header
+	capacity uint64 // slots, power of two
+}
+
+// NewSPSCRing reserves a ring of capacity slots (rounded to a power of
+// two), each carrying messages up to msgMax bytes.
+func NewSPSCRing(f *fabric.Fabric, capacity, msgMax uint64) *SPSCRing {
+	c := uint64(2)
+	for c < capacity {
+		c <<= 1
+	}
+	ss := fabric.AlignUp64(msgMax+8, fabric.LineSize)
+	return &SPSCRing{
+		headG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		tailG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		slots:    f.Reserve(c*ss, fabric.LineSize),
+		slotSize: ss,
+		capacity: c,
+	}
+}
+
+// MsgMax returns the largest message the ring accepts.
+func (r *SPSCRing) MsgMax() uint64 { return r.slotSize - 8 }
+
+// Cap returns the ring's slot capacity.
+func (r *SPSCRing) Cap() uint64 { return r.capacity }
+
+func (r *SPSCRing) slotG(pos uint64) fabric.GPtr {
+	return r.slots.Add((pos & (r.capacity - 1)) * r.slotSize)
+}
+
+// TryPush enqueues msg, returning false if the ring is full. Only one
+// goroutine (the producer) may call it.
+func (r *SPSCRing) TryPush(n *fabric.Node, msg []byte) bool {
+	if uint64(len(msg)) > r.MsgMax() {
+		panic(fmt.Sprintf("ds: message %d exceeds ring max %d", len(msg), r.MsgMax()))
+	}
+	t := n.AtomicLoad64(r.tailG)
+	if t-n.AtomicLoad64(r.headG) == r.capacity {
+		return false
+	}
+	s := r.slotG(t)
+	n.Store64(s, uint64(len(msg)))
+	if len(msg) > 0 {
+		n.Write(s.Add(8), msg)
+	}
+	n.WriteBackRange(s, 8+uint64(len(msg)))
+	n.AtomicStore64(r.tailG, t+1)
+	return true
+}
+
+// Push enqueues msg, spinning while the ring is full.
+func (r *SPSCRing) Push(n *fabric.Node, msg []byte) {
+	for !r.TryPush(n, msg) {
+		runtime.Gosched()
+	}
+}
+
+// TryPop dequeues one message into buf, returning its length and whether a
+// message was available. Only one goroutine (the consumer) may call it.
+func (r *SPSCRing) TryPop(n *fabric.Node, buf []byte) (int, bool) {
+	h := n.AtomicLoad64(r.headG)
+	if h == n.AtomicLoad64(r.tailG) {
+		return 0, false
+	}
+	s := r.slotG(h)
+	n.InvalidateRange(s, r.slotSize)
+	ln := n.Load64(s)
+	if ln > uint64(len(buf)) {
+		panic(fmt.Sprintf("ds: buffer %d too small for message %d", len(buf), ln))
+	}
+	if ln > 0 {
+		n.Read(s.Add(8), buf[:ln])
+	}
+	n.AtomicStore64(r.headG, h+1)
+	return int(ln), true
+}
+
+// Pop dequeues one message, spinning while the ring is empty.
+func (r *SPSCRing) Pop(n *fabric.Node, buf []byte) int {
+	for {
+		if ln, ok := r.TryPop(n, buf); ok {
+			return ln
+		}
+		runtime.Gosched()
+	}
+}
+
+// Len returns the number of queued messages.
+func (r *SPSCRing) Len(n *fabric.Node) uint64 {
+	return n.AtomicLoad64(r.tailG) - n.AtomicLoad64(r.headG)
+}
+
+// MPSCRing is a multi-producer single-consumer ring (Vyukov bounded queue
+// over fabric atomics): producers on any node, one consumer. FlacOS uses it
+// for request funnels such as the RPC dispatch queue.
+type MPSCRing struct {
+	headG    fabric.GPtr // atomic: consumer cursor
+	tailG    fabric.GPtr // atomic: producer ticket
+	slots    fabric.GPtr
+	slotSize uint64 // seq line + payload
+	capacity uint64
+}
+
+// NewMPSCRing reserves a ring of capacity slots (power of two), messages up
+// to msgMax bytes. node initializes the per-slot sequence words.
+func NewMPSCRing(f *fabric.Fabric, node *fabric.Node, capacity, msgMax uint64) *MPSCRing {
+	c := uint64(2)
+	for c < capacity {
+		c <<= 1
+	}
+	// Slot: one control line (word0 seq, word1 len) + payload lines.
+	ss := fabric.LineSize + fabric.AlignUp64(msgMax, fabric.LineSize)
+	r := &MPSCRing{
+		headG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		tailG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		slots:    f.Reserve(c*ss, fabric.LineSize),
+		slotSize: ss,
+		capacity: c,
+	}
+	for i := uint64(0); i < c; i++ {
+		node.AtomicStore64(r.seqG(i), i)
+	}
+	return r
+}
+
+func (r *MPSCRing) seqG(i uint64) fabric.GPtr { return r.slots.Add(i * r.slotSize) }
+func (r *MPSCRing) lenG(i uint64) fabric.GPtr { return r.seqG(i).Add(8) }
+func (r *MPSCRing) payG(i uint64) fabric.GPtr { return r.seqG(i).Add(fabric.LineSize) }
+
+// MsgMax returns the largest message the ring accepts.
+func (r *MPSCRing) MsgMax() uint64 { return r.slotSize - fabric.LineSize }
+
+// TryPush enqueues msg from any producer, returning false if full.
+func (r *MPSCRing) TryPush(n *fabric.Node, msg []byte) bool {
+	if uint64(len(msg)) > r.MsgMax() {
+		panic(fmt.Sprintf("ds: message %d exceeds ring max %d", len(msg), r.MsgMax()))
+	}
+	pos := n.AtomicLoad64(r.tailG)
+	for {
+		i := pos & (r.capacity - 1)
+		seq := n.AtomicLoad64(r.seqG(i))
+		switch {
+		case seq == pos:
+			if n.CAS64(r.tailG, pos, pos+1) {
+				if len(msg) > 0 {
+					n.Write(r.payG(i), msg)
+					n.WriteBackRange(r.payG(i), uint64(len(msg)))
+				}
+				n.AtomicStore64(r.lenG(i), uint64(len(msg)))
+				n.AtomicStore64(r.seqG(i), pos+1)
+				return true
+			}
+			pos = n.AtomicLoad64(r.tailG)
+		case seq < pos:
+			return false // slot not yet consumed: full
+		default:
+			pos = n.AtomicLoad64(r.tailG)
+		}
+	}
+}
+
+// Push enqueues msg, spinning while the ring is full.
+func (r *MPSCRing) Push(n *fabric.Node, msg []byte) {
+	for !r.TryPush(n, msg) {
+		runtime.Gosched()
+	}
+}
+
+// TryPop dequeues one message; single consumer only.
+func (r *MPSCRing) TryPop(n *fabric.Node, buf []byte) (int, bool) {
+	pos := n.AtomicLoad64(r.headG)
+	i := pos & (r.capacity - 1)
+	if n.AtomicLoad64(r.seqG(i)) != pos+1 {
+		return 0, false
+	}
+	ln := n.AtomicLoad64(r.lenG(i))
+	if ln > uint64(len(buf)) {
+		panic(fmt.Sprintf("ds: buffer %d too small for message %d", len(buf), ln))
+	}
+	if ln > 0 {
+		n.InvalidateRange(r.payG(i), ln)
+		n.Read(r.payG(i), buf[:ln])
+	}
+	n.AtomicStore64(r.seqG(i), pos+r.capacity)
+	n.AtomicStore64(r.headG, pos+1)
+	return int(ln), true
+}
+
+// Pop dequeues one message, spinning while the ring is empty.
+func (r *MPSCRing) Pop(n *fabric.Node, buf []byte) int {
+	for {
+		if ln, ok := r.TryPop(n, buf); ok {
+			return ln
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,70 @@
+package ds
+
+import (
+	"fmt"
+	"runtime"
+
+	"flacos/internal/fabric"
+)
+
+// Vector is a fixed-capacity append-only vector of uint64 in global
+// memory, safe for concurrent append and read from any node. Appends
+// commit in order, so a reader that observes length L can read every index
+// below L.
+type Vector struct {
+	reserveG fabric.GPtr // atomic: next index to reserve
+	commitG  fabric.GPtr // atomic: contiguously published length
+	elems    fabric.GPtr
+	capacity uint64
+}
+
+// NewVector reserves global memory for a vector of the given capacity.
+func NewVector(f *fabric.Fabric, capacity uint64) *Vector {
+	if capacity == 0 {
+		panic("ds: vector capacity must be positive")
+	}
+	return &Vector{
+		reserveG: f.Reserve(fabric.LineSize, fabric.LineSize),
+		commitG:  f.Reserve(fabric.LineSize, fabric.LineSize),
+		elems:    f.Reserve(capacity*fabric.WordSize, fabric.LineSize),
+		capacity: capacity,
+	}
+}
+
+// Cap returns the vector's fixed capacity.
+func (v *Vector) Cap() uint64 { return v.capacity }
+
+// Append adds x and returns its index. It panics when the vector is full
+// (capacity is fixed at creation; sizing is a boot-time decision).
+func (v *Vector) Append(n *fabric.Node, x uint64) uint64 {
+	idx := n.Add64(v.reserveG, 1) - 1
+	if idx >= v.capacity {
+		panic(fmt.Sprintf("ds: vector full (capacity %d)", v.capacity))
+	}
+	n.AtomicStore64(v.elems.Add(idx*fabric.WordSize), x)
+	// Commit in order: wait for all earlier appends to publish, then
+	// advance the watermark past ours.
+	for !n.CAS64(v.commitG, idx, idx+1) {
+		runtime.Gosched()
+	}
+	return idx
+}
+
+// Len returns the committed length: every index below it is readable.
+func (v *Vector) Len(n *fabric.Node) uint64 { return n.AtomicLoad64(v.commitG) }
+
+// Get returns element i. It panics if i is beyond the committed length.
+func (v *Vector) Get(n *fabric.Node, i uint64) uint64 {
+	if i >= v.Len(n) {
+		panic(fmt.Sprintf("ds: vector index %d out of committed range", i))
+	}
+	return n.AtomicLoad64(v.elems.Add(i * fabric.WordSize))
+}
+
+// Set overwrites element i, which must already be committed.
+func (v *Vector) Set(n *fabric.Node, i uint64, x uint64) {
+	if i >= v.Len(n) {
+		panic(fmt.Sprintf("ds: vector index %d out of committed range", i))
+	}
+	n.AtomicStore64(v.elems.Add(i*fabric.WordSize), x)
+}

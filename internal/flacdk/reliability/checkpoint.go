@@ -1,0 +1,144 @@
+package reliability
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/quiescence"
+	"flacos/internal/flacdk/replication"
+)
+
+// Checkpointer stores double-buffered, checksummed snapshots in global
+// memory. Writes alternate between two slots and publish the header with
+// fabric atomics only after the data is home, so a crash mid-checkpoint
+// leaves the previous generation intact and a torn write is detected by
+// CRC. Because the slots live in global (interconnect-attached, crash-
+// surviving) memory, any node can restore them — the basis of cross-node
+// recovery and migration.
+//
+// Slot layout: one header line (word0: seq, word1: len<<32|crc32,
+// word2: applied-index) followed by the data area.
+type Checkpointer struct {
+	fab     *fabric.Fabric
+	node    *fabric.Node
+	slots   [2]fabric.GPtr
+	dataCap uint64
+	seq     uint64
+}
+
+// NewCheckpointer reserves two checkpoint slots able to hold dataCap bytes.
+func NewCheckpointer(f *fabric.Fabric, n *fabric.Node, dataCap uint64) *Checkpointer {
+	c := &Checkpointer{fab: f, node: n, dataCap: dataCap}
+	slotSize := fabric.LineSize + fabric.AlignUp64(dataCap, fabric.LineSize)
+	c.slots[0] = f.Reserve(slotSize, fabric.LineSize)
+	c.slots[1] = f.Reserve(slotSize, fabric.LineSize)
+	return c
+}
+
+// Cap returns the largest snapshot the checkpointer can hold.
+func (c *Checkpointer) Cap() uint64 { return c.dataCap }
+
+// Save stores one snapshot tagged with appliedIdx (the operation-log cursor
+// the snapshot reflects). If pin is non-nil the copy runs inside a
+// quiescence pin, integrating with multi-version reclamation exactly as
+// §3.2 prescribes: versions referenced by the data being checkpointed
+// cannot be reclaimed mid-copy.
+func (c *Checkpointer) Save(data []byte, appliedIdx uint64, pin *quiescence.Participant) {
+	if uint64(len(data)) > c.dataCap {
+		panic(fmt.Sprintf("reliability: snapshot %d exceeds checkpoint capacity %d", len(data), c.dataCap))
+	}
+	if pin != nil {
+		pin.Pin()
+		defer pin.Unpin()
+	}
+	c.seq++
+	slot := c.slots[c.seq%2]
+	n := c.node
+	if len(data) > 0 {
+		n.Write(slot.Add(fabric.LineSize), data)
+		n.WriteBackRange(slot.Add(fabric.LineSize), uint64(len(data)))
+	}
+	crc := crc32.ChecksumIEEE(data)
+	n.AtomicStore64(slot.Add(8), uint64(len(data))<<32|uint64(crc))
+	n.AtomicStore64(slot.Add(16), appliedIdx)
+	n.AtomicStore64(slot, c.seq) // header publish: highest seq wins
+}
+
+// Latest returns the newest valid snapshot readable by node n (which may
+// be a different node than the writer — recovery after a crash). ok is
+// false when no intact checkpoint exists.
+func (c *Checkpointer) Latest(n *fabric.Node) (data []byte, appliedIdx uint64, ok bool) {
+	type cand struct {
+		seq  uint64
+		slot fabric.GPtr
+	}
+	var cands []cand
+	for _, slot := range c.slots {
+		if seq := n.AtomicLoad64(slot); seq > 0 {
+			cands = append(cands, cand{seq, slot})
+		}
+	}
+	// Try newest first, fall back to the older generation on CRC mismatch.
+	for len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].seq > cands[best].seq {
+				best = i
+			}
+		}
+		slot := cands[best].slot
+		meta := n.AtomicLoad64(slot.Add(8))
+		ln := meta >> 32
+		crc := uint32(meta)
+		buf := make([]byte, ln)
+		if ln > 0 {
+			n.InvalidateRange(slot.Add(fabric.LineSize), ln)
+			n.Read(slot.Add(fabric.LineSize), buf)
+		}
+		if crc32.ChecksumIEEE(buf) == crc {
+			return buf, n.AtomicLoad64(slot.Add(16)), true
+		}
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return nil, 0, false
+}
+
+// ReplicaState is a replicated state machine that also supports
+// checkpoint-based recovery.
+type ReplicaState interface {
+	replication.StateMachine
+	replication.Snapshotter
+}
+
+// CheckpointReplica snapshots a replica's state machine into c. The
+// snapshot is taken under the replica's read path so it is consistent with
+// its applied index.
+func CheckpointReplica(c *Checkpointer, rep *replication.Replica, sm ReplicaState, pin *quiescence.Participant) {
+	var data []byte
+	var idx uint64
+	rep.ReadLocal(func(replication.StateMachine) {
+		data = sm.Snapshot()
+	})
+	idx = rep.AppliedIndex()
+	c.Save(data, idx, pin)
+}
+
+// RecoverReplica rebuilds a crashed node's replica on node n: restore the
+// newest intact checkpoint, verify the operation log still covers the gap,
+// attach a replica at the checkpoint's cursor, and replay the suffix. This
+// is the paper's "operation logs used for synchronization ... utilized to
+// achieve state replay during fault recovery".
+func RecoverReplica(l *replication.Log, n *fabric.Node, sm ReplicaState, c *Checkpointer) (*replication.Replica, error) {
+	var from uint64
+	if data, idx, ok := c.Latest(n); ok {
+		sm.Restore(data)
+		from = idx
+	}
+	if err := l.CheckReplayable(n, from); err != nil {
+		return nil, fmt.Errorf("recover from checkpoint at %d: %w", from, err)
+	}
+	rep := l.ReplicaAt(n, sm, from)
+	rep.Sync()
+	return rep, nil
+}

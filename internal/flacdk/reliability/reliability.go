@@ -1,0 +1,180 @@
+// Package reliability provides FlacDK's fault-tolerance mechanisms (paper
+// §3.2): system monitoring, failure prediction, fault detection,
+// checkpointing, and recovery. Per the paper's co-design principle, the
+// mechanisms reuse synchronization state instead of adding redundancy of
+// their own: checkpoints integrate with quiescence pins (a version being
+// checkpointed cannot be reclaimed), and recovery replays the replication
+// package's operation log.
+package reliability
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"flacos/internal/fabric"
+)
+
+// Region identifies a guarded range of global memory.
+type Region struct {
+	G    fabric.GPtr
+	Size uint64
+}
+
+// Scrubber detects silent corruption in global memory: Protect records a
+// CRC of a region's home contents; ScrubOnce re-reads home memory (the
+// device scrub path, bypassing all caches) and reports every region whose
+// contents no longer match. Mutators must call Seal after legitimately
+// updating a protected region.
+type Scrubber struct {
+	fab *fabric.Fabric
+
+	mu   sync.Mutex
+	sums map[Region]uint32
+
+	scrubs   uint64
+	detected uint64
+}
+
+// NewScrubber creates a scrubber for f.
+func NewScrubber(f *fabric.Fabric) *Scrubber {
+	return &Scrubber{fab: f, sums: make(map[Region]uint32)}
+}
+
+func (s *Scrubber) crcOf(r Region) uint32 {
+	buf := make([]byte, r.Size)
+	s.fab.ReadAtHome(r.G, buf)
+	return crc32.ChecksumIEEE(buf)
+}
+
+// Protect starts guarding r with its current home contents as ground truth.
+func (s *Scrubber) Protect(r Region) {
+	sum := s.crcOf(r)
+	s.mu.Lock()
+	s.sums[r] = sum
+	s.mu.Unlock()
+}
+
+// Seal refreshes r's recorded checksum after a legitimate update (the
+// writer must have written the update back to home memory first).
+func (s *Scrubber) Seal(r Region) { s.Protect(r) }
+
+// Unprotect stops guarding r.
+func (s *Scrubber) Unprotect(r Region) {
+	s.mu.Lock()
+	delete(s.sums, r)
+	s.mu.Unlock()
+}
+
+// ScrubOnce verifies every protected region against home memory and
+// returns the corrupted ones.
+func (s *Scrubber) ScrubOnce() []Region {
+	s.mu.Lock()
+	regions := make([]Region, 0, len(s.sums))
+	want := make([]uint32, 0, len(s.sums))
+	for r, sum := range s.sums {
+		regions = append(regions, r)
+		want = append(want, sum)
+	}
+	s.mu.Unlock()
+
+	var bad []Region
+	for i, r := range regions {
+		if s.crcOf(r) != want[i] {
+			bad = append(bad, r)
+		}
+	}
+	s.mu.Lock()
+	s.scrubs++
+	s.detected += uint64(len(bad))
+	s.mu.Unlock()
+	return bad
+}
+
+// Repair rewrites r's home contents from known-good data and reseals it.
+func (s *Scrubber) Repair(r Region, data []byte) {
+	if uint64(len(data)) != r.Size {
+		panic(fmt.Sprintf("reliability: Repair data %d != region size %d", len(data), r.Size))
+	}
+	s.fab.WriteAtHome(r.G, data)
+	s.Seal(r)
+}
+
+// Stats returns lifetime scrub passes and detected corruptions.
+func (s *Scrubber) Stats() (scrubs, detected uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scrubs, s.detected
+}
+
+// StartMonitor runs ScrubOnce every interval, invoking onFault for each
+// corrupted region found. The returned stop function halts the monitor.
+// This is the paper's "system monitoring" loop.
+func (s *Scrubber) StartMonitor(interval time.Duration, onFault func(Region)) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				for _, r := range s.ScrubOnce() {
+					onFault(r)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// Predictor forecasts failures from the stream of correctable-error
+// observations: an exponentially weighted moving average of errors per
+// observation window. Rising EWMA above a threshold is the paper's
+// failure-prediction signal (e.g. schedule migration off a failing DIMM
+// before it dies).
+type Predictor struct {
+	mu    sync.Mutex
+	alpha float64
+	rate  float64
+	obs   uint64
+}
+
+// NewPredictor creates a predictor with smoothing factor alpha in (0,1]:
+// higher alpha weighs recent windows more.
+func NewPredictor(alpha float64) *Predictor {
+	if alpha <= 0 || alpha > 1 {
+		panic("reliability: alpha must be in (0,1]")
+	}
+	return &Predictor{alpha: alpha}
+}
+
+// Observe feeds one window's error count.
+func (p *Predictor) Observe(errors uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.obs == 0 {
+		p.rate = float64(errors)
+	} else {
+		p.rate = p.alpha*float64(errors) + (1-p.alpha)*p.rate
+	}
+	p.obs++
+}
+
+// Rate returns the smoothed errors-per-window estimate.
+func (p *Predictor) Rate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// AtRisk reports whether the smoothed rate exceeds threshold.
+func (p *Predictor) AtRisk(threshold float64) bool { return p.Rate() > threshold }

@@ -1,0 +1,323 @@
+package reliability
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/quiescence"
+	"flacos/internal/flacdk/replication"
+)
+
+func rack(t *testing.T, nodes int) *fabric.Fabric {
+	t.Helper()
+	return fabric.New(fabric.Config{GlobalSize: 8 << 20, Nodes: nodes})
+}
+
+func TestScrubberDetectsBitFlip(t *testing.T) {
+	f := rack(t, 1)
+	n := f.Node(0)
+	s := NewScrubber(f)
+	g := f.Reserve(256, 64)
+	data := bytes.Repeat([]byte{0xAB}, 256)
+	n.Write(g, data)
+	n.FlushRange(g, 256)
+
+	r := Region{G: g, Size: 256}
+	s.Protect(r)
+	if bad := s.ScrubOnce(); len(bad) != 0 {
+		t.Fatalf("clean region reported corrupt: %v", bad)
+	}
+	f.Faults().FlipBitAtHome(f, g.Add(64), 5)
+	bad := s.ScrubOnce()
+	if len(bad) != 1 || bad[0] != r {
+		t.Fatalf("scrub = %v, want [%v]", bad, r)
+	}
+	scrubs, detected := s.Stats()
+	if scrubs != 2 || detected != 1 {
+		t.Fatalf("stats = %d/%d", scrubs, detected)
+	}
+	// Repair restores ground truth.
+	s.Repair(r, data)
+	if bad := s.ScrubOnce(); len(bad) != 0 {
+		t.Fatalf("repaired region still corrupt: %v", bad)
+	}
+	got := make([]byte, 256)
+	f.ReadAtHome(g, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("repair did not restore contents")
+	}
+}
+
+func TestScrubberSealAfterLegitimateWrite(t *testing.T) {
+	f := rack(t, 1)
+	n := f.Node(0)
+	s := NewScrubber(f)
+	g := f.Reserve(64, 64)
+	r := Region{G: g, Size: 64}
+	s.Protect(r)
+	n.Store64(g, 99)
+	n.FlushRange(g, 64)
+	if bad := s.ScrubOnce(); len(bad) != 1 {
+		t.Fatal("unsealed legitimate write should look like corruption")
+	}
+	s.Seal(r)
+	if bad := s.ScrubOnce(); len(bad) != 0 {
+		t.Fatal("sealed region reported corrupt")
+	}
+	s.Unprotect(r)
+	f.Faults().FlipBitAtHome(f, g, 1)
+	if bad := s.ScrubOnce(); len(bad) != 0 {
+		t.Fatal("unprotected region still scrubbed")
+	}
+}
+
+func TestMonitorInvokesCallback(t *testing.T) {
+	f := rack(t, 1)
+	s := NewScrubber(f)
+	g := f.Reserve(64, 64)
+	r := Region{G: g, Size: 64}
+	s.Protect(r)
+
+	var mu sync.Mutex
+	var hits []Region
+	stop := s.StartMonitor(time.Millisecond, func(r Region) {
+		mu.Lock()
+		hits = append(hits, r)
+		mu.Unlock()
+	})
+	defer stop()
+	f.Faults().FlipBitAtHome(f, g, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		got := len(hits)
+		mu.Unlock()
+		if got > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never reported the fault")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPredictorEWMA(t *testing.T) {
+	p := NewPredictor(0.5)
+	p.Observe(0)
+	if p.Rate() != 0 {
+		t.Fatalf("rate = %v", p.Rate())
+	}
+	p.Observe(8) // 0.5*8 + 0.5*0 = 4
+	if p.Rate() != 4 {
+		t.Fatalf("rate = %v, want 4", p.Rate())
+	}
+	if p.AtRisk(5) {
+		t.Fatal("below threshold reported at risk")
+	}
+	p.Observe(8) // 6
+	if !p.AtRisk(5) {
+		t.Fatal("above threshold not reported")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("alpha 0 should panic")
+			}
+		}()
+		NewPredictor(0)
+	}()
+}
+
+func TestCheckpointSaveLatest(t *testing.T) {
+	f := rack(t, 2)
+	c := NewCheckpointer(f, f.Node(0), 1024)
+	if _, _, ok := c.Latest(f.Node(1)); ok {
+		t.Fatal("empty checkpointer returned a snapshot")
+	}
+	c.Save([]byte("generation-1"), 10, nil)
+	c.Save([]byte("generation-2"), 20, nil)
+	c.Save([]byte("generation-3"), 30, nil)
+	data, idx, ok := c.Latest(f.Node(1)) // read from the other node
+	if !ok || string(data) != "generation-3" || idx != 30 {
+		t.Fatalf("Latest = %q,%d,%v", data, idx, ok)
+	}
+	if c.Cap() != 1024 {
+		t.Fatalf("Cap = %d", c.Cap())
+	}
+}
+
+func TestCheckpointTornWriteFallsBack(t *testing.T) {
+	f := rack(t, 1)
+	n := f.Node(0)
+	c := NewCheckpointer(f, n, 256)
+	c.Save([]byte("good-generation"), 7, nil)
+	c.Save([]byte("newer-generation"), 9, nil)
+	// Corrupt the newer generation's data in home memory: its CRC check
+	// must fail and Latest must fall back to the older slot.
+	newerSlot := c.slots[c.seq%2]
+	f.Faults().FlipBitAtHome(f, newerSlot.Add(fabric.LineSize), 3)
+	data, idx, ok := c.Latest(n)
+	if !ok || string(data) != "good-generation" || idx != 7 {
+		t.Fatalf("fallback = %q,%d,%v", data, idx, ok)
+	}
+}
+
+func TestCheckpointOversizedPanics(t *testing.T) {
+	f := rack(t, 1)
+	c := NewCheckpointer(f, f.Node(0), 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized snapshot should panic")
+		}
+	}()
+	c.Save(make([]byte, 65), 0, nil)
+}
+
+// kvState is a ReplicaState for recovery tests: op 1 = put(8-byte value +
+// key), returns previous value.
+type kvState struct{ m map[string]uint64 }
+
+func newKVState() *kvState { return &kvState{m: make(map[string]uint64)} }
+
+func (k *kvState) Apply(op uint32, payload []byte) uint64 {
+	if op == 1 {
+		v := binary.LittleEndian.Uint64(payload)
+		key := string(payload[8:])
+		prev := k.m[key]
+		k.m[key] = v
+		return prev
+	}
+	return 0
+}
+
+func (k *kvState) Snapshot() []byte {
+	var out []byte
+	for key, v := range k.m {
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(key)))
+		binary.LittleEndian.PutUint64(hdr[4:], v)
+		out = append(out, hdr[:]...)
+		out = append(out, key...)
+	}
+	return out
+}
+
+func (k *kvState) Restore(b []byte) {
+	k.m = make(map[string]uint64)
+	for len(b) >= 12 {
+		klen := binary.LittleEndian.Uint32(b[:4])
+		v := binary.LittleEndian.Uint64(b[4:12])
+		k.m[string(b[12:12+klen])] = v
+		b = b[12+klen:]
+	}
+}
+
+func put(r *replication.Replica, key string, v uint64) {
+	p := make([]byte, 8+len(key))
+	binary.LittleEndian.PutUint64(p, v)
+	copy(p[8:], key)
+	r.Execute(1, p)
+}
+
+func TestCrashRecoveryViaCheckpointAndLogReplay(t *testing.T) {
+	f := rack(t, 2)
+	log := replication.NewLog(f, 64)
+	c := NewCheckpointer(f, f.Node(0), 4096)
+
+	sm0 := newKVState()
+	rep0 := log.Replica(f.Node(0), sm0)
+	put(rep0, "a", 1)
+	put(rep0, "b", 2)
+	CheckpointReplica(c, rep0, sm0, nil)
+	put(rep0, "c", 3) // after the checkpoint: must come from log replay
+	put(rep0, "a", 9)
+
+	// Node 0 dies. Its cache (and local replica) are gone; the log and the
+	// checkpoint live in global memory.
+	f.Node(0).Crash()
+
+	sm1 := newKVState()
+	rep1, err := RecoverReplica(log, f.Node(1), sm1, c)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	rep1.ReadLinearizable(func(replication.StateMachine) {})
+	if sm1.m["a"] != 9 || sm1.m["b"] != 2 || sm1.m["c"] != 3 {
+		t.Fatalf("recovered state = %v", sm1.m)
+	}
+}
+
+func TestRecoveryWithoutCheckpointReplaysFromZero(t *testing.T) {
+	f := rack(t, 2)
+	log := replication.NewLog(f, 64)
+	c := NewCheckpointer(f, f.Node(0), 4096) // never saved
+
+	sm0 := newKVState()
+	rep0 := log.Replica(f.Node(0), sm0)
+	put(rep0, "only", 5)
+	f.Node(0).Crash()
+
+	sm1 := newKVState()
+	if _, err := RecoverReplica(log, f.Node(1), sm1, c); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if sm1.m["only"] != 5 {
+		t.Fatalf("recovered = %v", sm1.m)
+	}
+}
+
+func TestRecoveryDetectsTruncatedLog(t *testing.T) {
+	f := rack(t, 2)
+	log := replication.NewLog(f, 8)
+	c := NewCheckpointer(f, f.Node(0), 4096) // no checkpoint -> replay from 0
+
+	sm0 := newKVState()
+	rep0 := log.Replica(f.Node(0), sm0)
+	// Wrap the log: entries 0.. recycled, replay-from-0 is impossible.
+	for i := 0; i < 20; i++ {
+		put(rep0, "k", uint64(i))
+	}
+	sm1 := newKVState()
+	_, err := RecoverReplica(log, f.Node(1), sm1, c)
+	if !errors.Is(err, replication.ErrLogTruncated) {
+		t.Fatalf("err = %v, want ErrLogTruncated", err)
+	}
+}
+
+func TestCheckpointWithQuiescencePin(t *testing.T) {
+	f := rack(t, 2)
+	d := quiescence.NewDomain(f, 2)
+	ckPart := d.Participant(f.Node(0), 0)
+	other := d.Participant(f.Node(1), 1)
+	c := NewCheckpointer(f, f.Node(0), 256)
+
+	// While Save holds the pin, the epoch must not advance twice.
+	done := make(chan struct{})
+	blocked := false
+	go func() {
+		defer close(done)
+		// Generate load: try advancing continuously.
+		for i := 0; i < 1000; i++ {
+			other.TryAdvance()
+		}
+	}()
+	ckPart.Pin()
+	e := d.Epoch(f.Node(0))
+	<-done
+	if d.Epoch(f.Node(0)) > e+1 {
+		t.Fatal("epoch advanced twice past a checkpoint pin")
+	}
+	ckPart.Unpin()
+	blocked = true
+	_ = blocked
+	c.Save([]byte("x"), 1, ckPart) // must pin/unpin without deadlock
+	if _, _, ok := c.Latest(f.Node(1)); !ok {
+		t.Fatal("checkpoint missing")
+	}
+}

@@ -1,0 +1,54 @@
+package replication
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"flacos/internal/fabric"
+)
+
+func BenchmarkExecuteSingleReplica(b *testing.B) {
+	f := fabric.New(fabric.Config{GlobalSize: 16 << 20, Nodes: 1})
+	log := NewLog(f, 4096)
+	r := log.Replica(f.Node(0), &counterSM{})
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Execute(1, payload[:])
+	}
+}
+
+func BenchmarkExecuteTwoReplicasLockstep(b *testing.B) {
+	f := fabric.New(fabric.Config{GlobalSize: 16 << 20, Nodes: 2})
+	log := NewLog(f, 4096)
+	r0 := log.Replica(f.Node(0), &counterSM{})
+	r1 := log.Replica(f.Node(1), &counterSM{})
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r0.Execute(1, payload[:])
+		r1.Sync()
+	}
+}
+
+func BenchmarkReadLocal(b *testing.B) {
+	f := fabric.New(fabric.Config{GlobalSize: 16 << 20, Nodes: 1})
+	log := NewLog(f, 64)
+	r := log.Replica(f.Node(0), &counterSM{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ReadLocal(func(StateMachine) {})
+	}
+}
+
+func BenchmarkReadLinearizable(b *testing.B) {
+	f := fabric.New(fabric.Config{GlobalSize: 16 << 20, Nodes: 1})
+	log := NewLog(f, 64)
+	r := log.Replica(f.Node(0), &counterSM{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ReadLinearizable(func(StateMachine) {})
+	}
+}

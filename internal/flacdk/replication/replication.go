@@ -1,0 +1,364 @@
+// Package replication implements FlacDK's replication-based synchronization
+// (paper §3.2): a shared operation log in global memory plus one local
+// replica of the data structure per node, in the style of NrOS/node
+// replication.
+//
+// The common path touches only node-local memory: reads run against the
+// local replica, and updates append one log entry then replay the log into
+// the local replica. Cross-node agreement needs no locks on shared data and
+// no cache coherence — the log is published with fabric atomics (which
+// bypass the caches) for control words, and explicit write-back/invalidate
+// for payload lines.
+//
+// Log entry layout (two cache lines per entry):
+//
+//	line 0 (control, fabric atomics only):
+//	    word 0: state     — idx+1 once the entry at log index idx is ready
+//	    word 1: op|len    — opcode (high 32 bits) and payload length (low 32)
+//	line 1 (payload, plain access + cache maintenance):
+//	    up to 64 bytes of operation payload
+//
+// The state word's value is unique per log index, so a slot can be reused
+// when the log wraps without an ABA hazard: consumers of index i wait for
+// state == i+1 and can never confuse it with the previous occupant's i+1-cap.
+package replication
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"flacos/internal/fabric"
+)
+
+// PayloadMax is the largest operation payload an entry can carry. Larger
+// arguments live in shared memory and the payload carries a GPtr to them.
+const PayloadMax = fabric.LineSize
+
+const entrySize = 2 * fabric.LineSize
+
+// StateMachine is the replicated data structure. Apply must be
+// deterministic: every replica applies the same operation sequence and must
+// converge to the same state. The returned value is meaningful only to the
+// node that issued the operation (e.g. "previous value" for a KV put).
+type StateMachine interface {
+	Apply(op uint32, payload []byte) uint64
+}
+
+// Snapshotter is optionally implemented by state machines that support
+// checkpoint-based recovery (used by flacdk/reliability): Snapshot
+// serializes the full state, Restore replaces the state.
+type Snapshotter interface {
+	Snapshot() []byte
+	Restore([]byte)
+}
+
+// Log is the shared operation log. One Log is created in global memory and
+// every node attaches a Replica to it.
+type Log struct {
+	fab      *fabric.Fabric
+	capacity uint64
+	tailG    fabric.GPtr   // atomic: next log index to allocate
+	regG     fabric.GPtr   // atomic bitmap: which nodes have live replicas
+	appliedG []fabric.GPtr // per node, atomic: entries applied so far
+	entries  fabric.GPtr
+}
+
+// NewLog reserves global memory for a log of capEntries entries (rounded up
+// to a power of two, minimum 8) shared by all nodes of f.
+func NewLog(f *fabric.Fabric, capEntries uint64) *Log {
+	capE := uint64(8)
+	for capE < capEntries {
+		capE <<= 1
+	}
+	if f.NumNodes() > 64 {
+		panic("replication: at most 64 nodes (registration bitmap is one word)")
+	}
+	l := &Log{
+		fab:      f,
+		capacity: capE,
+		tailG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		regG:     f.Reserve(fabric.LineSize, fabric.LineSize),
+		entries:  f.Reserve(capE*entrySize, fabric.LineSize),
+	}
+	l.appliedG = make([]fabric.GPtr, f.NumNodes())
+	for i := range l.appliedG {
+		l.appliedG[i] = f.Reserve(fabric.LineSize, fabric.LineSize)
+	}
+	return l
+}
+
+// Capacity returns the log's entry capacity.
+func (l *Log) Capacity() uint64 { return l.capacity }
+
+func (l *Log) stateG(idx uint64) fabric.GPtr {
+	return l.entries.Add((idx % l.capacity) * entrySize)
+}
+func (l *Log) metaG(idx uint64) fabric.GPtr    { return l.stateG(idx).Add(8) }
+func (l *Log) payloadG(idx uint64) fabric.GPtr { return l.stateG(idx).Add(fabric.LineSize) }
+
+// Tail returns the log's current tail index as seen by node n.
+func (l *Log) Tail(n *fabric.Node) uint64 { return n.AtomicLoad64(l.tailG) }
+
+// minApplied returns the slowest registered replica's applied index. Nodes
+// without a live replica do not gate log recycling. With no replicas at
+// all, recycling is unconstrained.
+func (l *Log) minApplied(n *fabric.Node) uint64 {
+	reg := n.AtomicLoad64(l.regG)
+	min := ^uint64(0)
+	for i, g := range l.appliedG {
+		if reg&(1<<uint(i)) == 0 {
+			continue
+		}
+		if a := n.AtomicLoad64(g); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// register marks node id as having a live replica.
+func (l *Log) register(n *fabric.Node, id int) {
+	for {
+		old := n.AtomicLoad64(l.regG)
+		if old&(1<<uint(id)) != 0 || n.CAS64(l.regG, old, old|1<<uint(id)) {
+			return
+		}
+	}
+}
+
+// Deregister removes node id from the recycle constraint — fault handling
+// calls it when a node dies so its stalled applied counter cannot wedge the
+// rack's appenders. A later ReplicaAt/Replica for the node re-registers it.
+func (l *Log) Deregister(n *fabric.Node, id int) {
+	for {
+		old := n.AtomicLoad64(l.regG)
+		if old&(1<<uint(id)) == 0 || n.CAS64(l.regG, old, old&^(1<<uint(id))) {
+			return
+		}
+	}
+}
+
+// Replica is one node's attachment to the log: a local copy of the state
+// machine plus the replay cursor. The zero value is not usable; create
+// replicas with Log.Replica.
+type Replica struct {
+	log  *Log
+	node *fabric.Node
+
+	mu           sync.Mutex // guards sm and localApplied (node-local, coherent)
+	sm           StateMachine
+	localApplied uint64
+}
+
+// Replica attaches a fresh replica for node n, seeded with sm (which must
+// represent the state after zero operations, identically on every node).
+func (l *Log) Replica(n *fabric.Node, sm StateMachine) *Replica {
+	n.AtomicStore64(l.appliedG[n.ID()], 0)
+	l.register(n, n.ID())
+	return &Replica{log: l, node: n, sm: sm}
+}
+
+// ReplicaAt attaches a replica whose state machine already reflects the
+// first appliedIdx log operations (restored from a checkpoint). Recovery
+// paths use it so replay starts at the checkpoint's cursor instead of 0.
+func (l *Log) ReplicaAt(n *fabric.Node, sm StateMachine, appliedIdx uint64) *Replica {
+	r := &Replica{log: l, node: n, sm: sm, localApplied: appliedIdx}
+	n.AtomicStore64(l.appliedG[n.ID()], appliedIdx)
+	l.register(n, n.ID())
+	return r
+}
+
+// ErrLogTruncated reports that recovery needs log entries that have already
+// been recycled: the checkpoint is too old for the log window.
+var ErrLogTruncated = errLogTruncated{}
+
+type errLogTruncated struct{}
+
+func (errLogTruncated) Error() string {
+	return "replication: log entries needed for replay have been recycled"
+}
+
+// CheckReplayable reports whether every entry in [from, Tail) is still
+// resident in the log window (i.e. a replica restored at cursor `from` can
+// catch up by replay).
+func (l *Log) CheckReplayable(n *fabric.Node, from uint64) error {
+	tail := l.Tail(n)
+	for idx := from; idx < tail; idx++ {
+		st := n.AtomicLoad64(l.stateG(idx))
+		if st > idx+1 {
+			return ErrLogTruncated // slot already reused by a later index
+		}
+	}
+	return nil
+}
+
+// Node returns the fabric node this replica runs on.
+func (r *Replica) Node() *fabric.Node { return r.node }
+
+// AppliedIndex returns how many log entries this replica has applied.
+func (r *Replica) AppliedIndex() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.localApplied
+}
+
+// Execute appends one operation to the shared log and replays the log until
+// the operation has been applied locally, returning its Apply result. It is
+// linearizable across the rack.
+func (r *Replica) Execute(op uint32, payload []byte) uint64 {
+	if len(payload) > PayloadMax {
+		panic(fmt.Sprintf("replication: payload %d exceeds max %d", len(payload), PayloadMax))
+	}
+	l, n := r.log, r.node
+	idx := n.Add64(l.tailG, 1) - 1
+
+	// Wait for the slot to be recycled: every replica must have applied the
+	// previous occupant. Help ourselves along by syncing while we wait so a
+	// self-lag never deadlocks the append.
+	for idx >= l.minApplied(n)+l.capacity {
+		r.Sync()
+		runtime.Gosched()
+	}
+
+	if len(payload) > 0 {
+		n.Write(l.payloadG(idx), payload)
+		n.WriteBackRange(l.payloadG(idx), uint64(len(payload)))
+	}
+	n.AtomicStore64(l.metaG(idx), uint64(op)<<32|uint64(len(payload)))
+	n.AtomicStore64(l.stateG(idx), idx+1) // publish
+
+	// Replay until our own entry is applied; capture its local result.
+	return r.syncUntil(idx + 1)
+}
+
+// Sync replays published log entries into the local replica, stopping at
+// the first entry that has been reserved but not yet published (so it never
+// blocks on a stalled appender — including this node's own pending append).
+// Nodes that only read must still call Sync (or run a pump) so the log can
+// recycle.
+func (r *Replica) Sync() {
+	l, n := r.log, r.node
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		idx := r.localApplied
+		if n.AtomicLoad64(l.stateG(idx)) != idx+1 {
+			return
+		}
+		r.applyLocked(idx)
+	}
+}
+
+// syncUntil applies entries until localApplied >= target, returning the
+// Apply result of entry target-1 (the caller's own op for Execute). Unlike
+// Sync it waits for unpublished-but-reserved entries, which is required for
+// linearizability.
+func (r *Replica) syncUntil(target uint64) uint64 {
+	l, n := r.log, r.node
+	var result uint64
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.localApplied < target {
+		idx := r.localApplied
+		// The entry at idx was reserved by some appender; wait for publish.
+		for n.AtomicLoad64(l.stateG(idx)) != idx+1 {
+			runtime.Gosched()
+		}
+		res := r.applyLocked(idx)
+		if idx == target-1 {
+			result = res
+		}
+	}
+	return result
+}
+
+// applyLocked applies the published entry at idx to the local replica and
+// advances the applied cursor. Caller holds r.mu and has verified that the
+// entry's state word equals idx+1.
+func (r *Replica) applyLocked(idx uint64) uint64 {
+	l, n := r.log, r.node
+	meta := n.AtomicLoad64(l.metaG(idx))
+	op := uint32(meta >> 32)
+	plen := uint64(uint32(meta))
+	var payload []byte
+	if plen > 0 {
+		payload = make([]byte, plen)
+		n.InvalidateRange(l.payloadG(idx), plen)
+		n.Read(l.payloadG(idx), payload)
+	}
+	res := r.sm.Apply(op, payload)
+	r.localApplied = idx + 1
+	n.AtomicStore64(l.appliedG[n.ID()], r.localApplied)
+	return res
+}
+
+// ReadLinearizable observes the log tail, replays up to it, then runs fn on
+// the local replica. The read reflects every operation that completed
+// before ReadLinearizable was called.
+func (r *Replica) ReadLinearizable(fn func(StateMachine)) {
+	t := r.log.Tail(r.node)
+	r.syncUntil(t)
+	r.mu.Lock()
+	fn(r.sm)
+	r.mu.Unlock()
+}
+
+// ReadLocal runs fn on the local replica without consulting the shared log:
+// the fastest read, possibly stale. This is the paper's common path — all
+// node-local memory, zero fabric traffic.
+func (r *Replica) ReadLocal(fn func(StateMachine)) {
+	r.mu.Lock()
+	fn(r.sm)
+	r.mu.Unlock()
+}
+
+// StartPump launches a goroutine that calls Sync every interval, keeping an
+// otherwise-idle replica from stalling log recycling. The returned stop
+// function halts the pump and waits for it to exit.
+func (r *Replica) StartPump(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				r.Sync()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// EntryAt returns the opcode and payload of log index idx if it is still
+// resident in the log window, for recovery replay. ok is false if the entry
+// has been overwritten (idx too old) or not yet published.
+func (l *Log) EntryAt(n *fabric.Node, idx uint64) (op uint32, payload []byte, ok bool) {
+	if n.AtomicLoad64(l.stateG(idx)) != idx+1 {
+		return 0, nil, false
+	}
+	meta := n.AtomicLoad64(l.metaG(idx))
+	op = uint32(meta >> 32)
+	plen := uint64(uint32(meta))
+	if plen > 0 {
+		payload = make([]byte, plen)
+		n.InvalidateRange(l.payloadG(idx), plen)
+		n.Read(l.payloadG(idx), payload)
+	}
+	// Re-check the state word: the slot might have been recycled while we
+	// were copying the payload.
+	if n.AtomicLoad64(l.stateG(idx)) != idx+1 {
+		return 0, nil, false
+	}
+	return op, payload, true
+}

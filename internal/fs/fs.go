@@ -1,0 +1,530 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/ds"
+	"flacos/internal/flacdk/quiescence"
+	"flacos/internal/flacdk/replication"
+	"flacos/internal/memsys"
+)
+
+// Config sizes the file system's shared structures.
+type Config struct {
+	// CacheFrames is the shared page cache capacity in pages.
+	CacheFrames uint64
+	// MetaLogCap is the metadata journal's entry capacity.
+	MetaLogCap uint64
+	// MaxMounts bounds the number of simultaneous mounts (quiescence
+	// participants).
+	MaxMounts int
+	// Frames optionally supplies a shared frame pool. When nil the FS
+	// reserves its own. Sharing one pool with memsys is required for
+	// file-backed mappings (mmap), whose COW breaks move frames between
+	// the page cache and anonymous memory.
+	Frames *memsys.GlobalFrames
+}
+
+// FS is one rack-wide FlacOS file system instance.
+type FS struct {
+	fab    *fabric.Fabric
+	dev    BlockDev
+	frames *memsys.GlobalFrames
+	index  *ds.HashMap // pageKey -> frame phys >> 12
+	dirty  *ds.HashMap // pageKey -> frame phys >> 12 at dirtying time
+	sizes  *ds.HashMap // fileID  -> size in bytes
+	qdom   *quiescence.Domain
+
+	metaLog *replication.Log
+	idCtrG  fabric.GPtr
+
+	mu         sync.Mutex
+	nextPartID int
+	maxMounts  int
+}
+
+// New creates a file system over dev, with its shared structures laid out
+// in f's global memory.
+func New(f *fabric.Fabric, dev BlockDev, cfg Config) *FS {
+	if cfg.CacheFrames == 0 {
+		cfg.CacheFrames = 1024
+	}
+	if cfg.MetaLogCap == 0 {
+		cfg.MetaLogCap = 1024
+	}
+	if cfg.MaxMounts == 0 {
+		cfg.MaxMounts = 2 * f.NumNodes()
+	}
+	frames := cfg.Frames
+	if frames == nil {
+		frames = memsys.NewGlobalFrames(f, cfg.CacheFrames)
+	}
+	return &FS{
+		fab:       f,
+		dev:       dev,
+		frames:    frames,
+		index:     ds.NewHashMap(f, cfg.CacheFrames*2),
+		dirty:     ds.NewHashMap(f, cfg.CacheFrames*2),
+		sizes:     ds.NewHashMap(f, cfg.CacheFrames),
+		qdom:      quiescence.NewDomain(f, cfg.MaxMounts),
+		metaLog:   replication.NewLog(f, cfg.MetaLogCap),
+		idCtrG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		maxMounts: cfg.MaxMounts,
+	}
+}
+
+// Journal exposes the metadata operation log (which doubles as the
+// journal) for recovery integration.
+func (fs *FS) Journal() *replication.Log { return fs.metaLog }
+
+// CachedPages returns how many pages the shared cache currently holds, as
+// seen by node n. Rack-wide memory consumption is CachedPages()*PageSize
+// regardless of how many nodes use the cache — the point of §3.4.
+func (fs *FS) CachedPages(n *fabric.Node) uint64 { return fs.index.Len(n) }
+
+func pageKey(fileID uint64, page uint32) uint64 { return fileID<<32 | uint64(page) }
+
+// --- metadata state machine (node-local replica, replicated via log) ---
+
+const (
+	metaOpCreate = 1
+	metaOpUnlink = 2
+)
+
+type inodeSM struct {
+	names map[string]uint64
+}
+
+func newInodeSM() *inodeSM { return &inodeSM{names: make(map[string]uint64)} }
+
+func (s *inodeSM) Apply(op uint32, payload []byte) uint64 {
+	switch op {
+	case metaOpCreate:
+		id := binary.LittleEndian.Uint64(payload)
+		name := string(payload[8:])
+		if _, exists := s.names[name]; exists {
+			return 0
+		}
+		s.names[name] = id
+		return id
+	case metaOpUnlink:
+		name := string(payload)
+		id, exists := s.names[name]
+		if !exists {
+			return 0
+		}
+		delete(s.names, name)
+		return id
+	case metaOpRename:
+		oldLen := binary.LittleEndian.Uint32(payload)
+		oldName := string(payload[4 : 4+oldLen])
+		newName := string(payload[4+oldLen:])
+		id, exists := s.names[oldName]
+		if !exists {
+			return 0
+		}
+		if _, taken := s.names[newName]; taken {
+			return 0
+		}
+		delete(s.names, oldName)
+		s.names[newName] = id
+		return id
+	}
+	return 0
+}
+
+func (s *inodeSM) Snapshot() []byte {
+	var out []byte
+	for name, id := range s.names {
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(name)))
+		binary.LittleEndian.PutUint64(hdr[4:], id)
+		out = append(out, hdr[:]...)
+		out = append(out, name...)
+	}
+	return out
+}
+
+func (s *inodeSM) Restore(b []byte) {
+	s.names = make(map[string]uint64)
+	for len(b) >= 12 {
+		nlen := binary.LittleEndian.Uint32(b[:4])
+		id := binary.LittleEndian.Uint64(b[4:12])
+		s.names[string(b[12:12+nlen])] = id
+		b = b[12+nlen:]
+	}
+}
+
+// Mount is one node's attachment to the file system. A Mount may be used
+// concurrently by the node's goroutines.
+type Mount struct {
+	fs   *FS
+	node *fabric.Node
+	part *quiescence.Participant
+
+	meta    *inodeSM
+	metaRep *replication.Replica
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Mount attaches node n.
+func (fs *FS) Mount(n *fabric.Node) *Mount {
+	fs.mu.Lock()
+	id := fs.nextPartID
+	if id >= fs.maxMounts {
+		fs.mu.Unlock()
+		panic(fmt.Sprintf("fs: more than %d mounts", fs.maxMounts))
+	}
+	fs.nextPartID++
+	fs.mu.Unlock()
+	m := &Mount{
+		fs:   fs,
+		node: n,
+		part: fs.qdom.Participant(n, id),
+		meta: newInodeSM(),
+	}
+	m.metaRep = fs.metaLog.Replica(n, m.meta)
+	return m
+}
+
+// Node returns the mount's fabric node.
+func (m *Mount) Node() *fabric.Node { return m.node }
+
+// MetaReplica exposes the metadata replica for journal-recovery flows.
+func (m *Mount) MetaReplica() *replication.Replica { return m.metaRep }
+
+// MetaState exposes the metadata state machine for checkpointing.
+func (m *Mount) MetaState() interface {
+	replication.StateMachine
+	replication.Snapshotter
+} {
+	return m.meta
+}
+
+// CacheStats returns the mount's page-cache hit/miss counters.
+func (m *Mount) CacheStats() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Create makes a new empty file and returns its id.
+func (m *Mount) Create(name string) (uint64, error) {
+	id := m.node.Add64(m.fs.idCtrG, 1)
+	if id >= 1<<32 {
+		panic("fs: file id space exhausted")
+	}
+	payload := make([]byte, 8+len(name))
+	binary.LittleEndian.PutUint64(payload, id)
+	copy(payload[8:], name)
+	if m.metaRep.Execute(metaOpCreate, payload) == 0 {
+		return 0, fmt.Errorf("fs: create %q: file exists", name)
+	}
+	m.fs.sizes.PutIfAbsent(m.node, id, 0)
+	return id, nil
+}
+
+// Lookup resolves a name to a file id. It syncs the metadata replica
+// first, so files created on other nodes are visible.
+func (m *Mount) Lookup(name string) (uint64, bool) {
+	m.metaRep.Sync()
+	var id uint64
+	var ok bool
+	m.metaRep.ReadLocal(func(replication.StateMachine) {
+		id, ok = m.meta.names[name]
+	})
+	return id, ok
+}
+
+// Unlink removes a file: its name, cached pages, device pages and size.
+func (m *Mount) Unlink(name string) error {
+	payload := []byte(name)
+	id := m.metaRep.Execute(metaOpUnlink, payload)
+	if id == 0 {
+		return fmt.Errorf("fs: unlink %q: no such file", name)
+	}
+	// Collect and drop the file's cached pages.
+	var keys []uint64
+	m.fs.index.Range(m.node, func(k, v uint64) bool {
+		if k>>32 == id {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	for _, k := range keys {
+		if fk, ok := m.fs.index.Delete(m.node, k); ok {
+			phys := fk << memsys.PageShift
+			m.part.Retire(func() { m.fs.frames.Unref(m.node, phys) })
+		}
+		m.fs.dirty.Delete(m.node, k)
+	}
+	m.fs.sizes.Delete(m.node, id)
+	m.fs.dev.DeleteFile(m.node, id)
+	m.housekeep()
+	return nil
+}
+
+// Size returns the file's current size in bytes.
+func (m *Mount) Size(id uint64) uint64 {
+	sz, _ := m.fs.sizes.Get(m.node, id)
+	return sz
+}
+
+func (m *Mount) bumpSize(id, end uint64) {
+	for {
+		cur, ok := m.fs.sizes.Get(m.node, id)
+		if !ok {
+			if _, ins := m.fs.sizes.PutIfAbsent(m.node, id, end); ins {
+				return
+			}
+			continue
+		}
+		if cur >= end {
+			return
+		}
+		if m.fs.sizes.CompareAndSwap(m.node, id, cur, end) {
+			return
+		}
+	}
+}
+
+// lookupFrame returns the cached frame for a page, faulting it in from the
+// device on miss (installing exactly one copy rack-wide). hole is true if
+// neither cache nor device has the page.
+func (m *Mount) lookupFrame(id uint64, page uint32) (phys uint64, hole bool) {
+	key := pageKey(id, page)
+	n := m.node
+	if fk, ok := m.fs.index.Get(n, key); ok {
+		m.hits.Add(1)
+		return fk << memsys.PageShift, false
+	}
+	m.misses.Add(1)
+	buf := make([]byte, PageSize)
+	if !m.fs.dev.ReadPage(n, id, page, buf) {
+		return 0, true
+	}
+	frame := m.fs.frames.AllocUninit(n)
+	n.Write(fabric.GPtr(frame), buf)
+	n.WriteBackRange(fabric.GPtr(frame), PageSize)
+	n.InvalidateRange(fabric.GPtr(frame), PageSize)
+	actual, inserted := m.fs.index.PutIfAbsent(n, key, frame>>memsys.PageShift)
+	if !inserted {
+		m.fs.frames.Unref(n, frame) // another node's miss won the install
+	}
+	return actual << memsys.PageShift, false
+}
+
+// Read copies up to len(buf) bytes from the file at off, through the
+// shared page cache. It returns the number of bytes read (short at EOF).
+func (m *Mount) Read(id uint64, off uint64, buf []byte) (int, error) {
+	size := m.Size(id)
+	if off >= size {
+		return 0, nil
+	}
+	total := min(uint64(len(buf)), size-off)
+	done := uint64(0)
+	for done < total {
+		page := uint32((off + done) >> memsys.PageShift)
+		po := (off + done) % PageSize
+		chunk := min(PageSize-po, total-done)
+		m.part.Enter()
+		phys, hole := m.lookupFrame(id, page)
+		if hole {
+			clear(buf[done : done+chunk])
+		} else {
+			g := fabric.GPtr(phys + po)
+			m.node.InvalidateRange(g, chunk)
+			m.node.Read(g, buf[done:done+chunk])
+			m.node.InvalidateRange(g, chunk)
+		}
+		m.part.Exit()
+		done += chunk
+	}
+	return int(total), nil
+}
+
+// Write copies data into the file at off using multi-version page updates:
+// each written page gets a freshly allocated version frame that replaces
+// the old one atomically; readers holding the old version finish safely
+// and the old frame is reclaimed after a grace period.
+func (m *Mount) Write(id uint64, off uint64, data []byte) (int, error) {
+	n := m.node
+	done := uint64(0)
+	for done < uint64(len(data)) {
+		page := uint32((off + done) >> memsys.PageShift)
+		po := (off + done) % PageSize
+		chunk := min(PageSize-po, uint64(len(data))-done)
+		key := pageKey(id, page)
+
+		for {
+			newFrame := m.fs.frames.AllocUninit(n)
+			if po != 0 || chunk != PageSize {
+				// Partial page: start from the current version (or zeros).
+				cur := make([]byte, PageSize)
+				m.part.Enter()
+				phys, hole := m.lookupFrame(id, page)
+				if !hole {
+					n.InvalidateRange(fabric.GPtr(phys), PageSize)
+					n.Read(fabric.GPtr(phys), cur)
+				}
+				m.part.Exit()
+				copy(cur[po:], data[done:done+chunk])
+				n.Write(fabric.GPtr(newFrame), cur)
+			} else {
+				n.Write(fabric.GPtr(newFrame), data[done:done+PageSize])
+			}
+			n.WriteBackRange(fabric.GPtr(newFrame), PageSize)
+			n.InvalidateRange(fabric.GPtr(newFrame), PageSize)
+
+			oldFK, exists := m.fs.index.Get(n, key)
+			installed := false
+			if exists {
+				installed = m.fs.index.CompareAndSwap(n, key, oldFK, newFrame>>memsys.PageShift)
+			} else {
+				_, installed = m.fs.index.PutIfAbsent(n, key, newFrame>>memsys.PageShift)
+			}
+			if installed {
+				if exists {
+					oldPhys := oldFK << memsys.PageShift
+					m.part.Retire(func() { m.fs.frames.Unref(n, oldPhys) })
+				}
+				m.fs.dirty.Put(n, key, newFrame>>memsys.PageShift)
+				break
+			}
+			m.fs.frames.Unref(n, newFrame) // lost to a concurrent writer; retry
+		}
+		done += chunk
+	}
+	m.bumpSize(id, off+uint64(len(data)))
+	m.housekeep()
+	return len(data), nil
+}
+
+// housekeep advances the quiescence epoch and reclaims retired frames.
+func (m *Mount) housekeep() {
+	m.part.TryAdvance()
+	m.part.Collect()
+}
+
+// Fsync synchronously writes every cached page of the file to the device.
+func (m *Mount) Fsync(id uint64) error {
+	n := m.node
+	var keys []uint64
+	m.fs.index.Range(n, func(k, v uint64) bool {
+		if k>>32 == id {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	buf := make([]byte, PageSize)
+	for _, k := range keys {
+		m.part.Enter()
+		fk, ok := m.fs.index.Get(n, k)
+		if ok {
+			g := fabric.GPtr(fk << memsys.PageShift)
+			n.InvalidateRange(g, PageSize)
+			n.Read(g, buf)
+		}
+		m.part.Exit()
+		if ok {
+			m.fs.dev.WritePage(n, k>>32, uint32(k), buf)
+			m.fs.dirty.Delete(n, k)
+		}
+	}
+	return nil
+}
+
+// WriteBackOnce performs one pass of the asynchronous write-back daemon:
+// every dirty page whose version is unchanged since dirtying is written to
+// the device and its dirty mark cleared. Returns pages written.
+func (m *Mount) WriteBackOnce() int {
+	n := m.node
+	type entry struct{ key, fk uint64 }
+	var work []entry
+	m.fs.dirty.Range(n, func(k, v uint64) bool {
+		work = append(work, entry{k, v})
+		return true
+	})
+	buf := make([]byte, PageSize)
+	written := 0
+	for _, e := range work {
+		m.part.Enter()
+		fk, ok := m.fs.index.Get(n, e.key)
+		if ok {
+			g := fabric.GPtr(fk << memsys.PageShift)
+			n.InvalidateRange(g, PageSize)
+			n.Read(g, buf)
+		}
+		m.part.Exit()
+		if !ok {
+			m.fs.dirty.Delete(n, e.key)
+			continue
+		}
+		m.fs.dev.WritePage(n, e.key>>32, uint32(e.key), buf)
+		written++
+		// Clear the mark only if the page was not re-dirtied with a newer
+		// version while we were writing.
+		if cur, ok := m.fs.dirty.Get(n, e.key); ok && cur == fk {
+			m.fs.dirty.Delete(n, e.key)
+		}
+	}
+	return written
+}
+
+// StartWriteBack runs WriteBackOnce every interval until the returned stop
+// function is called — the asynchronous dirty-data handling of §3.4.
+func (m *Mount) StartWriteBack(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				m.WriteBackOnce()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// DirtyPages returns how many pages currently await write-back.
+func (m *Mount) DirtyPages() uint64 { return m.fs.dirty.Len(m.node) }
+
+// DropCaches evicts every page from the shared cache after writing dirty
+// data to the device — `echo 3 > drop_caches` for the rack. Returns the
+// number of pages evicted. Used for cache-cold experiments and memory
+// pressure relief.
+func (m *Mount) DropCaches() int {
+	m.WriteBackOnce()
+	n := m.node
+	var keys []uint64
+	m.fs.index.Range(n, func(k, v uint64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	dropped := 0
+	for _, k := range keys {
+		if fk, ok := m.fs.index.Delete(n, k); ok {
+			phys := fk << memsys.PageShift
+			m.part.Retire(func() { m.fs.frames.Unref(n, phys) })
+			dropped++
+		}
+		m.fs.dirty.Delete(n, k)
+	}
+	m.housekeep()
+	return dropped
+}

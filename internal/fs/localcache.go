@@ -1,0 +1,73 @@
+package fs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flacos/internal/fabric"
+)
+
+// LocalCacheMount is the DISAGGREGATED baseline for the page-cache
+// ablation: each node keeps a private page cache in its own local memory
+// (the world of Figure 1(a)). N nodes reading the same file each hold
+// their own copy of every page — the duplication the shared page cache
+// eliminates. It serves reads from the same BlockDev as the shared FS so
+// the two are directly comparable.
+type LocalCacheMount struct {
+	node *fabric.Node
+	dev  BlockDev
+
+	mu    sync.Mutex
+	pages map[uint64][]byte
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewLocalCacheMount creates node n's private cache over dev.
+func NewLocalCacheMount(n *fabric.Node, dev BlockDev) *LocalCacheMount {
+	return &LocalCacheMount{node: n, dev: dev, pages: make(map[uint64][]byte)}
+}
+
+// Read copies size bytes at off from the file through the private cache.
+func (m *LocalCacheMount) Read(id uint64, off uint64, buf []byte) int {
+	done := uint64(0)
+	total := uint64(len(buf))
+	for done < total {
+		page := uint32((off + done) >> 12)
+		po := (off + done) % PageSize
+		chunk := min(PageSize-po, total-done)
+		key := pageKey(id, page)
+		m.mu.Lock()
+		p, ok := m.pages[key]
+		m.mu.Unlock()
+		if ok {
+			m.hits.Add(1)
+			m.node.ChargeNS((int(chunk)/fabric.LineSize + 1) * 100) // local DRAM
+		} else {
+			m.misses.Add(1)
+			p = make([]byte, PageSize)
+			m.dev.ReadPage(m.node, id, page, p)
+			m.mu.Lock()
+			m.pages[key] = p
+			m.mu.Unlock()
+		}
+		copy(buf[done:done+chunk], p[po:po+chunk])
+		done += chunk
+	}
+	return int(total)
+}
+
+// CachedPages returns how many pages THIS node caches privately. Rack-wide
+// consumption is the sum over nodes — the number the ablation compares
+// against the shared cache's single count.
+func (m *LocalCacheMount) CachedPages() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return uint64(len(m.pages))
+}
+
+// CacheStats returns hit/miss counters.
+func (m *LocalCacheMount) CacheStats() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
+}

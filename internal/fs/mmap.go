@@ -1,0 +1,37 @@
+package fs
+
+import (
+	"flacos/internal/memsys"
+)
+
+// PageFrame implements memsys.PageSource: it resolves one file page to a
+// shared-page-cache frame and takes a reference on it for the mapping.
+// This is how container rootfs and shared datasets get mapped rack-wide
+// with exactly one physical copy (§3.4): every node's file mapping points
+// at the same cache frame.
+//
+// The mapping captures the page's CURRENT version (MAP_PRIVATE snapshot
+// semantics): later file writes publish new versions into the cache index
+// without disturbing established mappings.
+func (m *Mount) PageFrame(fileID uint64, page uint32) (phys uint64, ok bool) {
+	if uint64(page)<<memsys.PageShift >= m.Size(fileID) {
+		return 0, false // beyond EOF: SIGBUS
+	}
+	// The epoch pin keeps a concurrently retired version alive until our
+	// reference is taken.
+	m.part.Enter()
+	defer m.part.Exit()
+	phys, hole := m.lookupFrame(fileID, page)
+	if hole {
+		// Sparse page inside the file: materialize a shared zero frame so
+		// the mapping (and everyone else) has one copy to share.
+		frame := m.fs.frames.Alloc(m.node)
+		actual, inserted := m.fs.index.PutIfAbsent(m.node, pageKey(fileID, page), frame>>memsys.PageShift)
+		if !inserted {
+			m.fs.frames.Unref(m.node, frame)
+		}
+		phys = actual << memsys.PageShift
+	}
+	m.fs.frames.Ref(m.node, phys)
+	return phys, true
+}

@@ -1,0 +1,167 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/alloc"
+	"flacos/internal/memsys"
+)
+
+// mmapEnv builds an FS and a memsys space sharing ONE frame pool, as
+// file-backed mappings require.
+func mmapEnv(t *testing.T) (*fabric.Fabric, *FS, *Mount, *memsys.Space, *memsys.MMU, *memsys.MMU) {
+	t.Helper()
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 2})
+	frames := memsys.NewGlobalFrames(f, 4096)
+	arena := alloc.NewArena(f, 24<<20)
+	fsys := New(f, NewMemDev(50_000, 60_000), Config{CacheFrames: 2048, Frames: frames})
+	mount := fsys.Mount(f.Node(0))
+	space := memsys.NewSpace(f, 1, frames, arena.NodeAllocator(f.Node(0), 0), 256)
+	space.SetPageSource(mount)
+	m0 := space.Attach(f.Node(0), arena.NodeAllocator(f.Node(0), 0), memsys.NewLocalStore(f.Node(0)), 64)
+	m1 := space.Attach(f.Node(1), arena.NodeAllocator(f.Node(1), 0), memsys.NewLocalStore(f.Node(1)), 64)
+	return f, fsys, mount, space, m0, m1
+}
+
+func TestMMapFileReadsThroughSharedCache(t *testing.T) {
+	f, fsys, mount, _, m0, m1 := mmapEnv(t)
+	id, _ := mount.Create("/lib/libc.so")
+	content := bytes.Repeat([]byte{0xC3}, 3*PageSize)
+	copy(content, "ELF-ish header")
+	mount.Write(id, 0, content)
+
+	const va = 0x1000000
+	if err := m0.MMapFile(va, 3, memsys.ProtRead, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(content))
+	if err := m0.Read(va, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("mapped content mismatch")
+	}
+	// The mapping's frame IS the page cache frame: refcount 2 (cache +
+	// mapping), one physical copy rack-wide.
+	pte := m0.PTEOf(va)
+	if fsys.frames.RefCount(f.Node(0), pte.GlobalPhys()) != 2 {
+		t.Fatalf("refcount = %d, want 2 (shared with cache)",
+			fsys.frames.RefCount(f.Node(0), pte.GlobalPhys()))
+	}
+	// Node 1 reads through the same page table: same frame, no extra copy.
+	got1 := make([]byte, PageSize)
+	if err := m1.Read(va, got1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, content[:PageSize]) {
+		t.Fatal("node 1 mapped read mismatch")
+	}
+	if m1.PTEOf(va).GlobalPhys() != pte.GlobalPhys() {
+		t.Fatal("nodes map different frames for the same file page")
+	}
+}
+
+func TestMMapFileWriteIsCopyOnWrite(t *testing.T) {
+	f, fsys, mount, _, m0, _ := mmapEnv(t)
+	id, _ := mount.Create("/data")
+	orig := bytes.Repeat([]byte{7}, PageSize)
+	mount.Write(id, 0, orig)
+
+	const va = 0x2000000
+	if err := m0.MMapFile(va, 1, memsys.ProtRead|memsys.ProtWrite, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fault in (read), then write: must COW, not corrupt the file.
+	buf := make([]byte, 8)
+	if err := m0.Read(va, buf); err != nil {
+		t.Fatal(err)
+	}
+	shared := m0.PTEOf(va).GlobalPhys()
+	if err := m0.Write(va, []byte("private!")); err != nil {
+		t.Fatal(err)
+	}
+	private := m0.PTEOf(va).GlobalPhys()
+	if private == shared {
+		t.Fatal("write did not copy the shared frame")
+	}
+	// File content unchanged; mapping sees the private bytes.
+	fileBuf := make([]byte, PageSize)
+	mount.Read(id, 0, fileBuf)
+	if !bytes.Equal(fileBuf, orig) {
+		t.Fatal("mapped write leaked into the file")
+	}
+	mapBuf := make([]byte, 8)
+	m0.Read(va, mapBuf)
+	if string(mapBuf) != "private!" {
+		t.Fatalf("mapping reads %q", mapBuf)
+	}
+	// The cache frame's mapping reference was dropped by the COW break.
+	if fsys.frames.RefCount(f.Node(0), shared) != 1 {
+		t.Fatalf("shared frame refcount = %d, want 1", fsys.frames.RefCount(f.Node(0), shared))
+	}
+}
+
+func TestMMapFileBeyondEOFIsSIGBUS(t *testing.T) {
+	_, _, mount, _, m0, _ := mmapEnv(t)
+	id, _ := mount.Create("/small")
+	mount.Write(id, 0, []byte("tiny"))
+	const va = 0x3000000
+	if err := m0.MMapFile(va, 4, memsys.ProtRead, id, 0); err != nil {
+		t.Fatal(err) // mapping larger than the file is fine...
+	}
+	buf := make([]byte, 8)
+	if err := m0.Read(va, buf); err != nil { // page 0 exists
+		t.Fatal(err)
+	}
+	if err := m0.Read(va+2*PageSize, buf); err == nil { // page 2 is beyond EOF
+		t.Fatal("access beyond EOF should SIGBUS")
+	}
+}
+
+func TestMMapFileSparsePageReadsZeros(t *testing.T) {
+	_, _, mount, _, m0, _ := mmapEnv(t)
+	id, _ := mount.Create("/sparse")
+	// Write page 1 only; page 0 is a hole inside the file.
+	mount.Write(id, PageSize, bytes.Repeat([]byte{9}, PageSize))
+	const va = 0x4000000
+	if err := m0.MMapFile(va, 2, memsys.ProtRead, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := m0.Read(va, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, PageSize)) {
+		t.Fatal("hole page not zero")
+	}
+	m0.Read(va+PageSize, buf)
+	if buf[0] != 9 {
+		t.Fatal("data page wrong")
+	}
+}
+
+func TestMMapFileUnmapReleasesMappingRefs(t *testing.T) {
+	f, fsys, mount, _, m0, _ := mmapEnv(t)
+	id, _ := mount.Create("/f")
+	mount.Write(id, 0, make([]byte, 2*PageSize))
+	const va = 0x5000000
+	m0.MMapFile(va, 2, memsys.ProtRead, id, 0)
+	buf := make([]byte, 2*PageSize)
+	m0.Read(va, buf)
+	phys := m0.PTEOf(va).GlobalPhys()
+	if err := m0.MUnmap(va, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsys.frames.RefCount(f.Node(0), phys); got != 1 {
+		t.Fatalf("refcount after unmap = %d, want 1 (cache only)", got)
+	}
+}
+
+func TestMMapRequiresFileVariant(t *testing.T) {
+	_, _, _, _, m0, _ := mmapEnv(t)
+	if err := m0.MMap(0x6000000, 1, memsys.ProtRead, memsys.BackFile); err == nil {
+		t.Fatal("MMap with BackFile should be rejected")
+	}
+}

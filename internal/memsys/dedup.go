@@ -1,0 +1,89 @@
+package memsys
+
+import (
+	"bytes"
+	"hash/fnv"
+
+	"flacos/internal/flacdk/replication"
+)
+
+// DedupPass scans every global page mapped by this space and merges pages
+// with identical content onto a single frame (§3.3's deduplication):
+// duplicates are remapped copy-on-write to the canonical frame and their
+// frames freed. Returns how many pages were merged; the memory saved is
+// merged*PageSize.
+//
+// The pass runs from one MMU (a housekeeping thread); concurrent writers
+// are safe because remapping uses CAS against the observed PTE — a page
+// that changed under the scanner simply fails its CAS and is skipped.
+func (m *MMU) DedupPass() (merged int) {
+	m.vmaRep.Sync()
+	var vmas []VMA
+	m.vmaRep.ReadLocal(func(replication.StateMachine) {
+		vmas = append([]VMA(nil), m.vmas.vmas...)
+	})
+
+	type canon struct {
+		vpn     uint64
+		pte     PTE
+		content []byte
+	}
+	byHash := make(map[uint64][]canon)
+	buf := make([]byte, PageSize)
+
+	for _, vma := range vmas {
+		for vpn := vma.StartVPN; vpn < vma.End(); vpn++ {
+			p := PTE(m.space.pt.Get(m.node, vpn))
+			if !p.Valid() || !p.Global() {
+				continue
+			}
+			m.readFrame(p, 0, buf)
+			h := fnv.New64a()
+			h.Write(buf)
+			key := h.Sum64()
+
+			matched := false
+			for _, c := range byHash[key] {
+				if !bytes.Equal(c.content, buf) {
+					continue // hash collision
+				}
+				if c.pte.GlobalPhys() == p.GlobalPhys() {
+					matched = true // already sharing the canonical frame
+					break
+				}
+				// Make the canonical mapping COW if it is not already.
+				canonPTE := PTE(m.space.pt.Get(m.node, c.vpn))
+				if canonPTE != c.pte && canonPTE != c.pte.WithCOW() {
+					continue // canonical page changed; not a safe target
+				}
+				if canonPTE == c.pte && c.pte.Writable() {
+					if !m.space.pt.CompareAndSwap(m.node, m.pta, c.vpn, uint64(c.pte), uint64(c.pte.WithCOW())) {
+						continue
+					}
+					m.space.shootdown(m, c.vpn)
+				}
+				// Repoint the duplicate at the canonical frame, COW.
+				target := MakeGlobalPTE(c.pte.GlobalPhys(), false) | PteCOW
+				m.space.frames.Ref(m.node, c.pte.GlobalPhys())
+				if !m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(p), uint64(target)) {
+					m.space.frames.Unref(m.node, c.pte.GlobalPhys())
+					continue // page changed under us; skip
+				}
+				m.tlb.invalidate(vpn)
+				m.space.shootdown(m, vpn)
+				m.space.frames.Unref(m.node, p.GlobalPhys())
+				merged++
+				matched = true
+				break
+			}
+			if !matched {
+				byHash[key] = append(byHash[key], canon{
+					vpn:     vpn,
+					pte:     p,
+					content: append([]byte(nil), buf...),
+				})
+			}
+		}
+	}
+	return merged
+}

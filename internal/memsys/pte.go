@@ -1,0 +1,117 @@
+// Package memsys is the FlacOS memory system (paper §3.3): a shared
+// heterogeneous page table living in global memory, per-node MMUs with
+// TLBs and rack-wide shootdown, demand paging that allocates and loads
+// pages into global memory, copy-on-write, page migration between the
+// local and global tiers, and content-based deduplication.
+//
+// The page table indexes BOTH kinds of physical memory — interconnect-
+// attached global frames and per-node local frames — unifying them into a
+// single rack-wide address space. Per the paper's placement analysis, the
+// page table itself is shared (it is the structure every node must agree
+// on), while VMAs are node-local replicas synchronized with FlacDK's
+// replication method, and TLBs are per-node with explicit shootdown.
+package memsys
+
+import "fmt"
+
+// PageSize is the size of one page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PTE is a page-table entry: one fabric word encoding validity, protection,
+// tier, COW status and the physical frame.
+//
+//	bit  0      valid
+//	bit  1      writable
+//	bit  2      global tier (1 = global memory frame, 0 = node-local frame)
+//	bit  3      copy-on-write (write faults must copy before writing)
+//	bits 12..51 frame field:
+//	    global: physical global address >> 12
+//	    local:  bits 12..43 frame index, bits 44..51 owner node id
+type PTE uint64
+
+// PTE flag bits.
+const (
+	PteValid    PTE = 1 << 0
+	PteWritable PTE = 1 << 1
+	PteGlobal   PTE = 1 << 2
+	PteCOW      PTE = 1 << 3
+)
+
+const (
+	pteFrameShift     = 12
+	pteLocalNodeShift = 44
+	pteLocalNodeMask  = 0xff
+	pteLocalIdxMask   = 0xffffffff
+)
+
+// MakeGlobalPTE builds a valid PTE for a global frame at physical address
+// phys (PageSize aligned).
+func MakeGlobalPTE(phys uint64, writable bool) PTE {
+	if phys%PageSize != 0 {
+		panic(fmt.Sprintf("memsys: global frame %#x not page aligned", phys))
+	}
+	p := PteValid | PteGlobal | PTE(phys>>PageShift)<<pteFrameShift
+	if writable {
+		p |= PteWritable
+	}
+	return p
+}
+
+// MakeLocalPTE builds a valid PTE for local frame idx on node.
+func MakeLocalPTE(node int, idx uint32, writable bool) PTE {
+	p := PteValid |
+		PTE(idx)<<pteFrameShift |
+		PTE(node&pteLocalNodeMask)<<pteLocalNodeShift
+	if writable {
+		p |= PteWritable
+	}
+	return p
+}
+
+// Valid reports whether the entry maps a page.
+func (p PTE) Valid() bool { return p&PteValid != 0 }
+
+// Writable reports whether writes are permitted without a fault.
+func (p PTE) Writable() bool { return p&PteWritable != 0 }
+
+// Global reports whether the frame is in global memory.
+func (p PTE) Global() bool { return p&PteGlobal != 0 }
+
+// COW reports whether the page is copy-on-write.
+func (p PTE) COW() bool { return p&PteCOW != 0 }
+
+// GlobalPhys returns the global frame's physical address. Panics if the
+// entry is not a global mapping — always a kernel bug.
+func (p PTE) GlobalPhys() uint64 {
+	if !p.Global() {
+		panic("memsys: GlobalPhys on local PTE")
+	}
+	return uint64(p>>pteFrameShift) << PageShift & (1<<52 - 1)
+}
+
+// LocalFrame returns the owning node and frame index of a local mapping.
+func (p PTE) LocalFrame() (node int, idx uint32) {
+	if p.Global() {
+		panic("memsys: LocalFrame on global PTE")
+	}
+	return int(p >> pteLocalNodeShift & pteLocalNodeMask),
+		uint32(p >> pteFrameShift & pteLocalIdxMask)
+}
+
+// WithCOW returns the entry marked copy-on-write and read-only.
+func (p PTE) WithCOW() PTE { return (p | PteCOW) &^ PteWritable }
+
+// String renders the entry for diagnostics.
+func (p PTE) String() string {
+	if !p.Valid() {
+		return "pte<invalid>"
+	}
+	tier := "local"
+	if p.Global() {
+		tier = "global"
+	}
+	return fmt.Sprintf("pte<%s w=%v cow=%v raw=%#x>", tier, p.Writable(), p.COW(), uint64(p))
+}

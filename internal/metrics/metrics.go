@@ -1,0 +1,183 @@
+// Package metrics provides the small measurement toolkit the experiment
+// harnesses share: latency histograms with percentile extraction, and
+// simple tabular reporting matching the rows the paper prints.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records latency samples and reports summary statistics. It
+// stores raw samples (experiments here record at most a few million), which
+// keeps percentiles exact. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample (any unit; callers keep units consistent).
+func (h *Histogram) Record(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// RecordDuration adds one sample in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(float64(d.Nanoseconds())) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Percentile returns the p'th percentile (0 < p <= 100) by nearest-rank,
+// or 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return h.samples[rank-1]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.Percentile(0.0001) }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Summary is a point-in-time digest of a histogram.
+type Summary struct {
+	Count          int
+	Mean, P50, P99 float64
+	Min, Max       float64
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+// FormatNS renders a nanosecond quantity with an adaptive unit, e.g.
+// "1.75us" or "21.07s".
+func FormatNS(ns float64) string {
+	switch {
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.2fus", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}
+
+// Table accumulates aligned rows for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends one row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, hd := range t.header {
+		width[i] = len(hd)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var out string
+	line := func(cells []string) string {
+		s := ""
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			s += fmt.Sprintf("%-*s", width[i]+2, c)
+		}
+		return s + "\n"
+	}
+	out += line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = repeat('-', width[i])
+	}
+	out += line(sep)
+	for _, r := range t.rows {
+		out += line(r)
+	}
+	return out
+}
+
+func repeat(b byte, n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = b
+	}
+	return string(s)
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99 {
+		t.Fatalf("P99 = %v", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.P50 != 50 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestHistogramRecordAfterPercentile(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	_ = h.Percentile(50) // sorts
+	h.Record(1)          // must re-sort on next query
+	if got := h.Percentile(1); got != 1 {
+		t.Fatalf("P1 = %v, want 1", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Record(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestRecordDuration(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(2 * time.Microsecond)
+	if got := h.Mean(); got != 2000 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestFormatNS(t *testing.T) {
+	cases := map[float64]string{
+		500:     "500ns",
+		1750:    "1.75us",
+		2.5e6:   "2.50ms",
+		21.07e9: "21.07s",
+	}
+	for in, want := range cases {
+		if got := FormatNS(in); got != want {
+			t.Errorf("FormatNS(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("op", "latency")
+	tb.AddRow("set", "1.75us")
+	tb.AddRow("get-with-long-name", "2.40us")
+	out := tb.String()
+	if !strings.Contains(out, "op") || !strings.Contains(out, "get-with-long-name") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,171 @@
+package redis
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Client issues commands over any Conn. Not safe for concurrent use (like
+// a raw Redis connection); open one per worker.
+type Client struct {
+	conn Conn
+	buf  []byte
+	out  []byte
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn Conn, bufSize int) *Client {
+	if bufSize <= 0 {
+		bufSize = 64 << 10
+	}
+	return &Client{conn: conn, buf: make([]byte, bufSize)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() { c.conn.Close() }
+
+// roundTrip sends one command and decodes the reply.
+func (c *Client) roundTrip(args ...[]byte) (Value, error) {
+	c.out = AppendCommand(c.out[:0], args...)
+	if err := c.conn.Send(c.out); err != nil {
+		return Value{}, err
+	}
+	n, err := c.conn.Recv(c.buf)
+	if err != nil {
+		return Value{}, err
+	}
+	v, _, err := Decode(c.buf[:n])
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind == respError {
+		return Value{}, errors.New(v.Str)
+	}
+	return v, nil
+}
+
+// SendSet transmits a SET without waiting for the reply. Paired with
+// FinishSet, it lets deterministic harnesses interleave the server's turn
+// between the two halves (and supports pipelining generally).
+func (c *Client) SendSet(key string, value []byte) error {
+	c.out = AppendCommand(c.out[:0], []byte("SET"), []byte(key), value)
+	return c.conn.Send(c.out)
+}
+
+// FinishSet consumes a SET's reply.
+func (c *Client) FinishSet() error {
+	v, err := c.recvReply()
+	if err != nil {
+		return err
+	}
+	if v.Str != "OK" {
+		return fmt.Errorf("redis: unexpected SET reply %q", v.Str)
+	}
+	return nil
+}
+
+// SendGet transmits a GET without waiting for the reply.
+func (c *Client) SendGet(key string) error {
+	c.out = AppendCommand(c.out[:0], []byte("GET"), []byte(key))
+	return c.conn.Send(c.out)
+}
+
+// FinishGet consumes a GET's reply.
+func (c *Client) FinishGet() ([]byte, bool, error) {
+	v, err := c.recvReply()
+	if err != nil {
+		return nil, false, err
+	}
+	if v.Bulk == nil {
+		return nil, false, nil
+	}
+	return v.Bulk, true, nil
+}
+
+func (c *Client) recvReply() (Value, error) {
+	n, err := c.conn.Recv(c.buf)
+	if err != nil {
+		return Value{}, err
+	}
+	v, _, err := Decode(c.buf[:n])
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind == respError {
+		return Value{}, errors.New(v.Str)
+	}
+	return v, nil
+}
+
+// Ping checks the connection.
+func (c *Client) Ping() error {
+	v, err := c.roundTrip([]byte("PING"))
+	if err != nil {
+		return err
+	}
+	if v.Str != "PONG" {
+		return fmt.Errorf("redis: unexpected PING reply %q", v.Str)
+	}
+	return nil
+}
+
+// Set stores key -> value with optional TTL (0 = none).
+func (c *Client) Set(key string, value []byte, ttl time.Duration) error {
+	args := [][]byte{[]byte("SET"), []byte(key), value}
+	if ttl > 0 {
+		args = append(args, []byte("EX"), []byte(fmt.Sprintf("%d", int(ttl.Seconds()))))
+	}
+	v, err := c.roundTrip(args...)
+	if err != nil {
+		return err
+	}
+	if v.Str != "OK" {
+		return fmt.Errorf("redis: unexpected SET reply %q", v.Str)
+	}
+	return nil
+}
+
+// Get fetches key; ok is false on a miss.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	v, err := c.roundTrip([]byte("GET"), []byte(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if v.Bulk == nil {
+		return nil, false, nil
+	}
+	return v.Bulk, true, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	args := [][]byte{[]byte("DEL")}
+	for _, k := range keys {
+		args = append(args, []byte(k))
+	}
+	v, err := c.roundTrip(args...)
+	return v.Int, err
+}
+
+// Incr increments the integer at key.
+func (c *Client) Incr(key string) (int64, error) {
+	v, err := c.roundTrip([]byte("INCR"), []byte(key))
+	return v.Int, err
+}
+
+// Exists reports how many of keys exist.
+func (c *Client) Exists(keys ...string) (int64, error) {
+	args := [][]byte{[]byte("EXISTS")}
+	for _, k := range keys {
+		args = append(args, []byte(k))
+	}
+	v, err := c.roundTrip(args...)
+	return v.Int, err
+}
+
+// DBSize returns the server's key count.
+func (c *Client) DBSize() (int64, error) {
+	v, err := c.roundTrip([]byte("DBSIZE"))
+	return v.Int, err
+}

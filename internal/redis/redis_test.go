@@ -1,0 +1,254 @@
+package redis
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flacos/internal/fabric"
+	"flacos/internal/ipc"
+	"flacos/internal/netstack"
+)
+
+// --- RESP codec ---
+
+func TestRESPRoundTrip(t *testing.T) {
+	cmd := AppendCommand(nil, []byte("SET"), []byte("key"), []byte("value"))
+	v, n, err := Decode(cmd)
+	if err != nil || n != len(cmd) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if v.Kind != respArray || len(v.Array) != 3 || string(v.Array[0].Bulk) != "SET" {
+		t.Fatalf("decoded %+v", v)
+	}
+	for in, check := range map[string]func(Value) bool{
+		"+OK\r\n":       func(v Value) bool { return v.Kind == respSimple && v.Str == "OK" },
+		"-ERR x\r\n":    func(v Value) bool { return v.Kind == respError && v.Str == "ERR x" },
+		":-42\r\n":      func(v Value) bool { return v.Kind == respInt && v.Int == -42 },
+		"$-1\r\n":       func(v Value) bool { return v.Kind == respBulk && v.Bulk == nil },
+		"$3\r\nabc\r\n": func(v Value) bool { return string(v.Bulk) == "abc" },
+		"*0\r\n":        func(v Value) bool { return v.Kind == respArray && len(v.Array) == 0 },
+	} {
+		v, _, err := Decode([]byte(in))
+		if err != nil || !check(v) {
+			t.Fatalf("decode %q: %+v, %v", in, v, err)
+		}
+	}
+}
+
+func TestRESPMalformed(t *testing.T) {
+	for _, in := range []string{"", "x", "+OK", "$5\r\nab\r\n", ":abc\r\n", "*2\r\n+a\r\n", "$3\r\nabcXX"} {
+		if _, _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) should fail", in)
+		}
+	}
+}
+
+func TestRESPQuickBulkRoundTrip(t *testing.T) {
+	prop := func(data []byte) bool {
+		enc := AppendBulk(nil, data)
+		v, n, err := Decode(enc)
+		return err == nil && n == len(enc) && bytes.Equal(v.Bulk, data) ||
+			(data == nil && v.Bulk == nil && err == nil)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Store ---
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Set("a", []byte("1"), 0)
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if s.Exists("a", "b") != 1 || s.Len() != 1 {
+		t.Fatal("exists/len wrong")
+	}
+	if s.Del("a", "b") != 1 {
+		t.Fatal("del wrong")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key present")
+	}
+	if v, err := s.Incr("ctr"); err != nil || v != 1 {
+		t.Fatalf("incr = %d,%v", v, err)
+	}
+	if v, _ := s.Incr("ctr"); v != 2 {
+		t.Fatalf("incr = %d", v)
+	}
+	s.Set("notnum", []byte("xyz"), 0)
+	if _, err := s.Incr("notnum"); err == nil {
+		t.Fatal("incr of non-integer should fail")
+	}
+}
+
+func TestStoreExpiry(t *testing.T) {
+	s := NewStore()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.Set("k", []byte("v"), 5*time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("fresh key missing")
+	}
+	now = now.Add(6 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired key still present")
+	}
+	// SET without TTL clears a previous TTL.
+	s.Set("k2", []byte("v"), time.Second)
+	s.Set("k2", []byte("v"), 0)
+	now = now.Add(time.Hour)
+	if _, ok := s.Get("k2"); !ok {
+		t.Fatal("TTL not cleared by plain SET")
+	}
+}
+
+// --- Command execution ---
+
+func TestExecuteCommands(t *testing.T) {
+	srv := NewServer(NewStore())
+	exec := func(args ...string) Value {
+		bb := make([][]byte, len(args))
+		for i, a := range args {
+			bb[i] = []byte(a)
+		}
+		v, _, err := Decode(srv.Execute(AppendCommand(nil, bb...)))
+		if err != nil {
+			t.Fatalf("execute %v: %v", args, err)
+		}
+		return v
+	}
+	if v := exec("PING"); v.Str != "PONG" {
+		t.Fatalf("PING = %+v", v)
+	}
+	if v := exec("SET", "k", "val"); v.Str != "OK" {
+		t.Fatalf("SET = %+v", v)
+	}
+	if v := exec("GET", "k"); string(v.Bulk) != "val" {
+		t.Fatalf("GET = %+v", v)
+	}
+	if v := exec("GET", "missing"); v.Bulk != nil {
+		t.Fatalf("GET missing = %+v", v)
+	}
+	if v := exec("DBSIZE"); v.Int != 1 {
+		t.Fatalf("DBSIZE = %+v", v)
+	}
+	if v := exec("DEL", "k", "x"); v.Int != 1 {
+		t.Fatalf("DEL = %+v", v)
+	}
+	if v := exec("NOSUCH"); v.Kind != respError {
+		t.Fatalf("unknown command = %+v", v)
+	}
+	if v := exec("SET", "only-key"); v.Kind != respError {
+		t.Fatalf("bad arity = %+v", v)
+	}
+	if v := exec("INCR", "n"); v.Int != 1 {
+		t.Fatalf("INCR = %+v", v)
+	}
+	// Raw garbage.
+	if v, _, _ := Decode(srv.Execute([]byte("garbage"))); v.Kind != respError {
+		t.Fatal("garbage should produce an error reply")
+	}
+}
+
+// --- End to end over both transports ---
+
+func runIPC(t *testing.T) (*Client, func()) {
+	t.Helper()
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 2})
+	sb := ipc.NewSwitchboard(f, f.Node(0), ipc.Config{
+		MaxConns: 4, MaxListeners: 2, RingSlots: 4, MsgMax: 64 << 10,
+	})
+	srvEP := sb.Endpoint(f.Node(0))
+	l, err := srvEP.Bind("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewStore())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.ServeConn(l.Accept(), 0)
+	}()
+	conn, err := sb.Endpoint(f.Node(1)).Connect("redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(conn, 0)
+	return cl, func() { cl.Close(); wg.Wait(); l.Close() }
+}
+
+func runTCP(t *testing.T) (*Client, func()) {
+	t.Helper()
+	f := fabric.New(fabric.Config{GlobalSize: 1 << 20, Nodes: 2})
+	nw := netstack.New(netstack.DefaultTCP())
+	l, err := nw.Listen(f.Node(0), "10.0.0.1:6379")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewStore())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		srv.ServeConn(c, 0)
+	}()
+	conn, err := nw.Dial(f.Node(1), "10.0.0.1:6379")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(conn, 0)
+	return cl, func() { cl.Close(); wg.Wait(); l.Close() }
+}
+
+func exerciseClient(t *testing.T, cl *Client) {
+	t.Helper()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0x42}, 4096)
+	if err := cl.Set("big", val, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cl.Get("big")
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("GET big: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := cl.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	if n, _ := cl.Incr("ctr"); n != 1 {
+		t.Fatalf("incr = %d", n)
+	}
+	if n, _ := cl.Exists("big", "ctr", "nope"); n != 2 {
+		t.Fatalf("exists = %d", n)
+	}
+	if n, _ := cl.DBSize(); n != 2 {
+		t.Fatalf("dbsize = %d", n)
+	}
+	if n, _ := cl.Del("big"); n != 1 {
+		t.Fatalf("del = %d", n)
+	}
+}
+
+func TestEndToEndOverIPC(t *testing.T) {
+	cl, cleanup := runIPC(t)
+	defer cleanup()
+	exerciseClient(t, cl)
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	cl, cleanup := runTCP(t)
+	defer cleanup()
+	exerciseClient(t, cl)
+}

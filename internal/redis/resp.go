@@ -1,0 +1,148 @@
+// Package redis is a miniature Redis used as the paper's evaluation
+// workload (Figure 4): a RESP-speaking in-memory KV server and client that
+// run unchanged over two transports — the simulated TCP/IP stack
+// (internal/netstack, the paper's "networking" baseline) and FlacOS
+// zero-copy IPC (internal/ipc). The latency gap between the two transports
+// under SET/GET at different value sizes is exactly the paper's headline
+// experiment.
+package redis
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// RESP value kinds.
+const (
+	respSimple = '+'
+	respError  = '-'
+	respInt    = ':'
+	respBulk   = '$'
+	respArray  = '*'
+)
+
+// ErrProtocol reports malformed RESP input.
+var ErrProtocol = errors.New("redis: protocol error")
+
+// Value is one decoded RESP value.
+type Value struct {
+	Kind  byte
+	Str   string  // simple string or error text
+	Int   int64   // integer
+	Bulk  []byte  // bulk string (nil means null bulk)
+	Array []Value // array elements
+}
+
+// AppendCommand encodes a command (array of bulk strings) onto dst.
+func AppendCommand(dst []byte, args ...[]byte) []byte {
+	dst = append(dst, respArray)
+	dst = strconv.AppendInt(dst, int64(len(args)), 10)
+	dst = append(dst, '\r', '\n')
+	for _, a := range args {
+		dst = AppendBulk(dst, a)
+	}
+	return dst
+}
+
+// AppendBulk encodes one bulk string onto dst.
+func AppendBulk(dst, b []byte) []byte {
+	if b == nil {
+		return append(dst, '$', '-', '1', '\r', '\n')
+	}
+	dst = append(dst, respBulk)
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, b...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendSimple encodes a simple string ("+OK\r\n").
+func AppendSimple(dst []byte, s string) []byte {
+	dst = append(dst, respSimple)
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendError encodes an error reply.
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, respError)
+	dst = append(dst, msg...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendInt encodes an integer reply.
+func AppendInt(dst []byte, v int64) []byte {
+	dst = append(dst, respInt)
+	dst = strconv.AppendInt(dst, v, 10)
+	return append(dst, '\r', '\n')
+}
+
+// Decode parses one RESP value from b, returning it and the bytes consumed.
+func Decode(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, fmt.Errorf("%w: empty input", ErrProtocol)
+	}
+	line, n, err := readLine(b[1:])
+	if err != nil {
+		return Value{}, 0, err
+	}
+	consumed := 1 + n
+	switch b[0] {
+	case respSimple:
+		return Value{Kind: respSimple, Str: string(line)}, consumed, nil
+	case respError:
+		return Value{Kind: respError, Str: string(line)}, consumed, nil
+	case respInt:
+		v, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil {
+			return Value{}, 0, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
+		}
+		return Value{Kind: respInt, Int: v}, consumed, nil
+	case respBulk:
+		ln, err := strconv.Atoi(string(line))
+		if err != nil {
+			return Value{}, 0, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
+		}
+		if ln < 0 {
+			return Value{Kind: respBulk, Bulk: nil}, consumed, nil
+		}
+		if len(b) < consumed+ln+2 {
+			return Value{}, 0, fmt.Errorf("%w: truncated bulk", ErrProtocol)
+		}
+		bulk := make([]byte, ln)
+		copy(bulk, b[consumed:consumed+ln])
+		if b[consumed+ln] != '\r' || b[consumed+ln+1] != '\n' {
+			return Value{}, 0, fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
+		}
+		return Value{Kind: respBulk, Bulk: bulk}, consumed + ln + 2, nil
+	case respArray:
+		count, err := strconv.Atoi(string(line))
+		if err != nil || count < 0 {
+			return Value{}, 0, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
+		}
+		arr := make([]Value, 0, count)
+		off := consumed
+		for i := 0; i < count; i++ {
+			v, n, err := Decode(b[off:])
+			if err != nil {
+				return Value{}, 0, err
+			}
+			arr = append(arr, v)
+			off += n
+		}
+		return Value{Kind: respArray, Array: arr}, off, nil
+	}
+	return Value{}, 0, fmt.Errorf("%w: unknown type %q", ErrProtocol, b[0])
+}
+
+// readLine returns the bytes before the next CRLF and the total consumed
+// including the CRLF.
+func readLine(b []byte) ([]byte, int, error) {
+	for i := 0; i+1 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' {
+			return b[:i], i + 2, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: missing CRLF", ErrProtocol)
+}

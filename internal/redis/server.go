@@ -1,0 +1,114 @@
+package redis
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Conn is the transport a server session or client runs over. Both
+// ipc.Conn (FlacOS zero-copy IPC) and netstack.Conn (simulated TCP)
+// satisfy it, which is the point: the same Redis binary, two transports.
+type Conn interface {
+	Send(msg []byte) error
+	Recv(buf []byte) (int, error)
+	Close()
+}
+
+// Server executes commands against a Store.
+type Server struct {
+	store *Store
+}
+
+// NewServer creates a server over store.
+func NewServer(store *Store) *Server { return &Server{store: store} }
+
+// Store returns the server's keyspace.
+func (s *Server) Store() *Store { return s.store }
+
+// ServeConn runs one session: decode command, execute, reply, until the
+// connection closes. Run it in a goroutine per accepted connection.
+func (s *Server) ServeConn(c Conn, bufSize int) {
+	if bufSize <= 0 {
+		bufSize = 64 << 10
+	}
+	req := make([]byte, bufSize)
+	for {
+		n, err := c.Recv(req)
+		if err != nil {
+			return
+		}
+		resp := s.Execute(req[:n])
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Execute runs one RESP-encoded command and returns the RESP reply.
+func (s *Server) Execute(req []byte) []byte {
+	v, _, err := Decode(req)
+	if err != nil || v.Kind != respArray || len(v.Array) == 0 {
+		return AppendError(nil, "ERR protocol error")
+	}
+	args := v.Array
+	for _, a := range args {
+		if a.Kind != respBulk {
+			return AppendError(nil, "ERR protocol error: expected bulk string")
+		}
+	}
+	cmd := strings.ToUpper(string(args[0].Bulk))
+	switch cmd {
+	case "PING":
+		return AppendSimple(nil, "PONG")
+	case "SET":
+		if len(args) < 3 {
+			return AppendError(nil, "ERR wrong number of arguments for 'set'")
+		}
+		ttl := time.Duration(0)
+		if len(args) == 5 && strings.EqualFold(string(args[3].Bulk), "EX") {
+			secs, err := strconv.Atoi(string(args[4].Bulk))
+			if err != nil {
+				return AppendError(nil, "ERR invalid expire time")
+			}
+			ttl = time.Duration(secs) * time.Second
+		}
+		s.store.Set(string(args[1].Bulk), args[2].Bulk, ttl)
+		return AppendSimple(nil, "OK")
+	case "GET":
+		if len(args) != 2 {
+			return AppendError(nil, "ERR wrong number of arguments for 'get'")
+		}
+		val, ok := s.store.Get(string(args[1].Bulk))
+		if !ok {
+			return AppendBulk(nil, nil)
+		}
+		return AppendBulk(nil, val)
+	case "DEL":
+		keys := bulkKeys(args[1:])
+		return AppendInt(nil, int64(s.store.Del(keys...)))
+	case "EXISTS":
+		keys := bulkKeys(args[1:])
+		return AppendInt(nil, int64(s.store.Exists(keys...)))
+	case "INCR":
+		if len(args) != 2 {
+			return AppendError(nil, "ERR wrong number of arguments for 'incr'")
+		}
+		v, err := s.store.Incr(string(args[1].Bulk))
+		if err != nil {
+			return AppendError(nil, "ERR value is not an integer or out of range")
+		}
+		return AppendInt(nil, v)
+	case "DBSIZE":
+		return AppendInt(nil, int64(s.store.Len()))
+	}
+	return AppendError(nil, "ERR unknown command '"+cmd+"'")
+}
+
+func bulkKeys(args []Value) []string {
+	keys := make([]string, len(args))
+	for i, a := range args {
+		keys[i] = string(a.Bulk)
+	}
+	return keys
+}

@@ -1,0 +1,127 @@
+package redis
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Store is the server's keyspace: string keys to byte values with optional
+// expiry, guarded by a mutex exactly like real Redis's single-threaded
+// command execution (one logical executor).
+type Store struct {
+	mu      sync.Mutex
+	data    map[string][]byte
+	expires map[string]time.Time
+	clock   func() time.Time
+}
+
+// NewStore creates an empty keyspace.
+func NewStore() *Store {
+	return &Store{
+		data:    make(map[string][]byte),
+		expires: make(map[string]time.Time),
+		clock:   time.Now,
+	}
+}
+
+// SetClock overrides the expiry clock (tests).
+func (s *Store) SetClock(fn func() time.Time) { s.clock = fn }
+
+func (s *Store) expiredLocked(key string) bool {
+	exp, ok := s.expires[key]
+	if !ok {
+		return false
+	}
+	if s.clock().After(exp) {
+		delete(s.data, key)
+		delete(s.expires, key)
+		return true
+	}
+	return false
+}
+
+// Set stores key -> value with an optional TTL (0 means no expiry).
+func (s *Store) Set(key string, value []byte, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.data[key] = cp
+	if ttl > 0 {
+		s.expires[key] = s.clock().Add(ttl)
+	} else {
+		delete(s.expires, key)
+	}
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expiredLocked(key) {
+		return nil, false
+	}
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Del removes keys, returning how many existed.
+func (s *Store) Del(keys ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if s.expiredLocked(k) {
+			continue
+		}
+		if _, ok := s.data[k]; ok {
+			delete(s.data, k)
+			delete(s.expires, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Exists reports how many of the keys exist.
+func (s *Store) Exists(keys ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if s.expiredLocked(k) {
+			continue
+		}
+		if _, ok := s.data[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Incr atomically increments the integer stored at key, returning the new
+// value; missing keys start at 0.
+func (s *Store) Incr(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expiredLocked(key)
+	cur := int64(0)
+	if v, ok := s.data[key]; ok {
+		parsed, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		cur = parsed
+	}
+	cur++
+	s.data[key] = []byte(strconv.FormatInt(cur, 10))
+	return cur, nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

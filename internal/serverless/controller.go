@@ -1,0 +1,193 @@
+package serverless
+
+import (
+	"fmt"
+	"sync"
+
+	"flacos/internal/fabric"
+	"flacos/internal/ipc"
+)
+
+// Function is a deployed serverless function.
+type Function struct {
+	Name    string
+	Image   string
+	Handler ipc.Handler
+
+	mu        sync.Mutex
+	instances map[int]bool // node id -> warm instance present
+	invokes   uint64
+	coldStart uint64
+}
+
+// Instances returns how many warm instances exist.
+func (f *Function) Instances() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.instances)
+}
+
+// Stats returns invocation and cold-start counts.
+func (f *Function) Stats() (invokes, coldStarts uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.invokes, f.coldStart
+}
+
+// Controller is the rack-level serverless control plane of Figure 3: it
+// schedules function instances across nodes, starts containers through the
+// FlacOS shared page cache, and routes invocations over migration RPC so
+// service chains never cross the network.
+type Controller struct {
+	runtimes []*NodeRuntime
+	services *ipc.ServiceTable
+
+	mu   sync.Mutex
+	fns  map[string]*Function
+	load []int // warm instances per node (density tracking)
+}
+
+// NewController creates a control plane over the per-node runtimes.
+func NewController(runtimes []*NodeRuntime, services *ipc.ServiceTable) *Controller {
+	return &Controller{
+		runtimes: runtimes,
+		services: services,
+		fns:      make(map[string]*Function),
+		load:     make([]int, len(runtimes)),
+	}
+}
+
+// Deploy registers a function backed by an image. No instance starts until
+// the first invocation (scale from zero).
+func (c *Controller) Deploy(name, image string, handler ipc.Handler) (*Function, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.fns[name]; dup {
+		return nil, fmt.Errorf("serverless: function %q already deployed", name)
+	}
+	f := &Function{Name: name, Image: image, Handler: handler, instances: make(map[int]bool)}
+	c.fns[name] = f
+	// The code context is shared rack-wide immediately (§3.5): any node
+	// can execute the function once an instance's state exists.
+	c.services.Register(name, handler)
+	return f, nil
+}
+
+// pickNode returns the least-loaded runtime (density-aware placement).
+func (c *Controller) pickNode() int {
+	best := 0
+	for i := 1; i < len(c.load); i++ {
+		if c.load[i] < c.load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ScaleUp starts one more warm instance of the function, placed on the
+// least-loaded node, and returns that node's startup report. Thanks to the
+// shared page cache, every instance after the rack's first skips the
+// registry.
+func (c *Controller) ScaleUp(name string) (StartupReport, error) {
+	c.mu.Lock()
+	f, ok := c.fns[name]
+	if !ok {
+		c.mu.Unlock()
+		return StartupReport{}, fmt.Errorf("serverless: function %q not deployed", name)
+	}
+	nodeID := c.pickNode()
+	c.mu.Unlock()
+
+	rep, err := c.runtimes[nodeID].StartContainer(f.Image)
+	if err != nil {
+		return rep, err
+	}
+	c.mu.Lock()
+	f.mu.Lock()
+	if !f.instances[nodeID] {
+		f.instances[nodeID] = true
+		c.load[nodeID]++
+	}
+	if rep.Source == SourceRegistry {
+		f.coldStart++
+	}
+	f.mu.Unlock()
+	c.mu.Unlock()
+	return rep, nil
+}
+
+// ScaleUpOn starts a warm instance on an explicit node (operator-pinned
+// placement; ScaleUp picks the least-loaded node automatically).
+func (c *Controller) ScaleUpOn(name string, nodeID int) (StartupReport, error) {
+	c.mu.Lock()
+	f, ok := c.fns[name]
+	c.mu.Unlock()
+	if !ok {
+		return StartupReport{}, fmt.Errorf("serverless: function %q not deployed", name)
+	}
+	if nodeID < 0 || nodeID >= len(c.runtimes) {
+		return StartupReport{}, fmt.Errorf("serverless: no node %d", nodeID)
+	}
+	rep, err := c.runtimes[nodeID].StartContainer(f.Image)
+	if err != nil {
+		return rep, err
+	}
+	c.mu.Lock()
+	f.mu.Lock()
+	if !f.instances[nodeID] {
+		f.instances[nodeID] = true
+		c.load[nodeID]++
+	}
+	if rep.Source == SourceRegistry {
+		f.coldStart++
+	}
+	f.mu.Unlock()
+	c.mu.Unlock()
+	return rep, nil
+}
+
+// Invoke calls the function from caller, cold-starting an instance if none
+// exists. The invocation itself is a migration RPC: the caller's thread
+// runs the function's code against its shared state, with no cross-node
+// message at all.
+func (c *Controller) Invoke(caller *fabric.Node, name string, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	f, ok := c.fns[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serverless: function %q not deployed", name)
+	}
+	if f.Instances() == 0 {
+		if _, err := c.ScaleUp(name); err != nil {
+			return nil, err
+		}
+	}
+	f.mu.Lock()
+	f.invokes++
+	f.mu.Unlock()
+	return c.services.Call(caller, name, req)
+}
+
+// InvokeChain runs a service chain: each function's output is the next
+// one's input, all over shared memory (§4.1's "communication cost between
+// service chains" pain point).
+func (c *Controller) InvokeChain(caller *fabric.Node, names []string, req []byte) ([]byte, error) {
+	cur := req
+	for _, name := range names {
+		out, err := c.Invoke(caller, name, cur)
+		if err != nil {
+			return nil, fmt.Errorf("serverless: chain stage %q: %w", name, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Density returns warm instances per node.
+func (c *Controller) Density() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.load))
+	copy(out, c.load)
+	return out
+}

@@ -1,0 +1,216 @@
+package serverless
+
+import (
+	"bytes"
+	"testing"
+
+	"flacos/internal/fabric"
+	"flacos/internal/fs"
+	"flacos/internal/ipc"
+)
+
+// testEnv boots a rack with the shared FS and a registry holding a small
+// synthetic image (16 MiB so tests stay fast; the flacbench harness runs
+// the paper-scale 4 GB version).
+type testEnv struct {
+	fab      *fabric.Fabric
+	registry *Registry
+	runtimes []*NodeRuntime
+	services *ipc.ServiceTable
+}
+
+const testImageBytes = 16 << 20
+
+func newTestEnv(t *testing.T, nodes int) *testEnv {
+	t.Helper()
+	f := fabric.New(fabric.Config{
+		GlobalSize: 96 << 20,
+		Nodes:      nodes,
+		Latency:    fabric.DefaultLatency(),
+	})
+	dev := fs.NewMemDev(50_000, 60_000)
+	fsys := fs.New(f, dev, fs.Config{CacheFrames: (testImageBytes / 4096) * 2, MetaLogCap: 1024})
+	// Scaled-down costs so the 16 MiB test image keeps the same phase
+	// proportions as the paper-scale 4 GB run in flacbench: a slow
+	// registry dominating cold starts, a modest runtime-init floor.
+	reg := NewRegistry(5_000_000, 0.02) // 5 ms RTT, 20 MB/s
+	reg.Push(SyntheticImage("pytorch", 4, testImageBytes))
+
+	cfg := DefaultRuntimeConfig()
+	cfg.InitNS = 50_000_000 // 50 ms
+	env := &testEnv{fab: f, registry: reg, services: ipc.NewServiceTable(f)}
+	for i := 0; i < nodes; i++ {
+		env.runtimes = append(env.runtimes,
+			NewNodeRuntime(f.Node(i), fsys.Mount(f.Node(i)), reg, cfg))
+	}
+	return env
+}
+
+func TestLayerContentDeterministic(t *testing.T) {
+	l := Layer{Digest: "sha256:abc", Size: 1 << 20}
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	l.Content(100, a)
+	l.Content(100, b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("layer content not deterministic")
+	}
+	l2 := Layer{Digest: "sha256:def", Size: 1 << 20}
+	l2.Content(100, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different digests produced identical content")
+	}
+	// Offset-consistency: reading [0,8K) in one call equals two 4K calls.
+	big := make([]byte, 8192)
+	l.Content(0, big)
+	l.Content(4096, b)
+	if !bytes.Equal(big[4096:], b) {
+		t.Fatal("content not offset-consistent")
+	}
+}
+
+func TestSyntheticImageSizes(t *testing.T) {
+	img := SyntheticImage("x", 3, 100)
+	if img.TotalBytes() != 100 || len(img.Layers) != 3 {
+		t.Fatalf("img = %+v", img)
+	}
+}
+
+func TestContainerStartupThreePaths(t *testing.T) {
+	env := newTestEnv(t, 2)
+
+	// Node 0: full cold start from the registry.
+	cold, err := env.runtimes[0].StartContainer("pytorch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Source != SourceRegistry {
+		t.Fatalf("first start source = %v", cold.Source)
+	}
+
+	// Node 1: FlacOS start — image bytes come from the shared page cache.
+	pullsBefore := env.registry.LayerPulls()
+	flac, err := env.runtimes[1].StartContainer("pytorch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flac.Source != SourceSharedCache {
+		t.Fatalf("second-node start source = %v", flac.Source)
+	}
+	// Only the manifest request may hit the registry, never layers.
+	if env.registry.LayerPulls() != pullsBefore+1 {
+		t.Fatalf("registry pulls during FlacOS start = %d", env.registry.LayerPulls()-pullsBefore)
+	}
+
+	// Node 1 again: hot start.
+	hot, err := env.runtimes[1].StartContainer("pytorch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Source != SourceLocal {
+		t.Fatalf("third start source = %v", hot.Source)
+	}
+
+	// The paper's ordering: hot < FlacOS shared-cache < cold, with a
+	// multi-x gap between FlacOS and cold.
+	if !(hot.TotalNS < flac.TotalNS && flac.TotalNS < cold.TotalNS) {
+		t.Fatalf("ordering violated: cold=%s flac=%s hot=%s", cold, flac, hot)
+	}
+	if cold.TotalNS < 2*flac.TotalNS {
+		t.Fatalf("shared cache speedup too small: cold=%s flac=%s", cold, flac)
+	}
+}
+
+func TestStartUnknownImage(t *testing.T) {
+	env := newTestEnv(t, 1)
+	if _, err := env.runtimes[0].StartContainer("nope"); err == nil {
+		t.Fatal("unknown image should fail")
+	}
+}
+
+func TestControllerDeployInvokeScale(t *testing.T) {
+	env := newTestEnv(t, 2)
+	ctl := NewController(env.runtimes, env.services)
+
+	_, err := ctl.Deploy("resize", "pytorch", func(n *fabric.Node, req []byte) []byte {
+		out := append([]byte("resized:"), req...)
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Deploy("resize", "pytorch", nil); err == nil {
+		t.Fatal("duplicate deploy should fail")
+	}
+
+	// First invocation cold-starts an instance.
+	out, err := ctl.Invoke(env.fab.Node(0), "resize", []byte("img1"))
+	if err != nil || string(out) != "resized:img1" {
+		t.Fatalf("invoke = %q, %v", out, err)
+	}
+	f := func() *Function {
+		fn, _ := ctl.fns["resize"]
+		return fn
+	}()
+	if f.Instances() != 1 {
+		t.Fatalf("instances = %d", f.Instances())
+	}
+	inv, colds := f.Stats()
+	if inv != 1 || colds != 1 {
+		t.Fatalf("stats = %d/%d", inv, colds)
+	}
+
+	// Scale out to the second node: the shared page cache makes it a
+	// non-registry start.
+	rep, err := ctl.ScaleUp("resize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Source != SourceSharedCache {
+		t.Fatalf("scale-out source = %v", rep.Source)
+	}
+	if f.Instances() != 2 {
+		t.Fatalf("instances = %d", f.Instances())
+	}
+	density := ctl.Density()
+	if density[0]+density[1] != 2 || density[0] != 1 {
+		t.Fatalf("density = %v (placement should balance)", density)
+	}
+	// Invocations run from any node via the shared code context.
+	out, err = ctl.Invoke(env.fab.Node(1), "resize", []byte("img2"))
+	if err != nil || string(out) != "resized:img2" {
+		t.Fatalf("invoke from node 1 = %q, %v", out, err)
+	}
+}
+
+func TestInvokeChainOverSharedMemory(t *testing.T) {
+	env := newTestEnv(t, 2)
+	ctl := NewController(env.runtimes, env.services)
+	ctl.Deploy("stage1", "pytorch", func(n *fabric.Node, req []byte) []byte {
+		return append(req, []byte("|s1")...)
+	})
+	ctl.Deploy("stage2", "pytorch", func(n *fabric.Node, req []byte) []byte {
+		return append(req, []byte("|s2")...)
+	})
+	ctl.Deploy("stage3", "pytorch", func(n *fabric.Node, req []byte) []byte {
+		return append(req, []byte("|s3")...)
+	})
+	out, err := ctl.InvokeChain(env.fab.Node(0), []string{"stage1", "stage2", "stage3"}, []byte("in"))
+	if err != nil || string(out) != "in|s1|s2|s3" {
+		t.Fatalf("chain = %q, %v", out, err)
+	}
+	if _, err := ctl.InvokeChain(env.fab.Node(0), []string{"stage1", "missing"}, nil); err == nil {
+		t.Fatal("chain with missing stage should fail")
+	}
+}
+
+func TestInvokeUndeployed(t *testing.T) {
+	env := newTestEnv(t, 1)
+	ctl := NewController(env.runtimes, env.services)
+	if _, err := ctl.Invoke(env.fab.Node(0), "ghost", nil); err == nil {
+		t.Fatal("undeployed function should fail")
+	}
+	if _, err := ctl.ScaleUp("ghost"); err == nil {
+		t.Fatal("scale of undeployed function should fail")
+	}
+}
