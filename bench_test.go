@@ -125,3 +125,17 @@ func BenchmarkDensityRouting(b *testing.B) {
 	}
 	reportRatios(b, res)
 }
+
+// BenchmarkSchedPlacement regenerates ablation G: locality-aware vs
+// random task placement over the global run queue, plus crash
+// re-dispatch through lease expiry.
+func BenchmarkSchedPlacement(b *testing.B) {
+	cfg := experiments.DefaultSched()
+	cfg.Tasks = 120
+	cfg.CrashTasks = 24
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.SchedAblation(cfg)
+	}
+	reportRatios(b, res)
+}

@@ -11,6 +11,9 @@
 //	flacbench -experiment faultbox     # ablation C: fault box recovery
 //	flacbench -experiment ipc          # ablation D: transports
 //	flacbench -experiment dedup        # ablation E: page dedup
+//	flacbench -experiment density      # ablation F: density-aware routing
+//	flacbench -experiment sched        # ablation G: coordinated scheduling
+//	flacbench -list                    # list experiments, one per line
 //	flacbench -quick                   # smaller workloads, same shapes
 package main
 
@@ -24,8 +27,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
+	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
 	runners := map[string]func(quick bool) *experiments.Result{
@@ -82,8 +86,23 @@ func main() {
 			}
 			return experiments.DensityAblation(cfg)
 		},
+		"sched": func(q bool) *experiments.Result {
+			cfg := experiments.DefaultSched()
+			if q {
+				cfg.Tasks = 120
+				cfg.CrashTasks = 24
+			}
+			return experiments.SchedAblation(cfg)
+		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched"}
+
+	if *list {
+		for _, name := range order {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	var selected []string
 	if *exp == "all" {

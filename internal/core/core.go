@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"flacos/internal/boot"
 	"flacos/internal/devshare"
@@ -27,6 +28,7 @@ import (
 	"flacos/internal/ipc"
 	"flacos/internal/irq"
 	"flacos/internal/memsys"
+	"flacos/internal/sched"
 	"flacos/internal/serverless"
 )
 
@@ -116,6 +118,31 @@ type Rack struct {
 
 	instances []*OS
 	nextSpace uint64
+
+	schedOnce sync.Once
+	sched     *sched.Scheduler
+}
+
+// Scheduler returns the rack-wide coordinated task scheduler, booting it
+// on first use: per-node worker pools over a shared run queue and load
+// board in global memory, with locality-aware placement and failure-aware
+// re-dispatch (internal/sched). One scheduler serves the whole rack.
+func (r *Rack) Scheduler() *sched.Scheduler {
+	r.schedOnce.Do(func() {
+		r.sched = sched.New(r.Fabric, sched.DefaultConfig())
+		r.sched.Start()
+	})
+	return r.sched
+}
+
+// Shutdown stops the rack's background machinery (scheduler workers and
+// lease keepers). The fabric itself needs no teardown; a Rack is garbage
+// once unreferenced. Safe to call more than once.
+func (r *Rack) Shutdown() {
+	r.schedOnce.Do(func() {}) // settle: either it booted or it never will
+	if r.sched != nil {
+		r.sched.Stop()
+	}
 }
 
 // OS is one node's FlacOS instance: the node-local half of the coordinated
@@ -231,5 +258,10 @@ func (r *Rack) Serverless(reg *serverless.Registry, rtCfg serverless.RuntimeConf
 	for i := range runtimes {
 		runtimes[i] = serverless.NewNodeRuntime(r.Fabric.Node(i), r.OS(i).Mount, reg, rtCfg)
 	}
-	return serverless.NewController(runtimes, r.Services)
+	ctl := serverless.NewController(runtimes, r.Services)
+	// Container placement goes through the coordinated scheduler: its
+	// global load board sees work the control plane's own density count
+	// doesn't, and it skips crashed nodes.
+	ctl.SetPlacer(r.Scheduler().PickNode)
+	return ctl
 }

@@ -127,3 +127,18 @@ func TestDensityAblationShape(t *testing.T) {
 		t.Errorf("pinned/routed = %.2fx outside [1.5, 4]", r)
 	}
 }
+
+func TestSchedAblationShape(t *testing.T) {
+	// The placement phase needs its full task count: the p99 gap is a
+	// queueing effect, so an undersized run never saturates the workers
+	// and measures only claim noise.
+	cfg := DefaultSched()
+	cfg.CrashTasks = 24
+	res := SchedAblation(cfg)
+	if r := res.Ratios["random/locality dispatch p99"]; r <= 1.2 {
+		t.Errorf("random/locality dispatch p99 = %.2fx: locality-aware placement must beat random", r)
+	}
+	if r := res.Ratios["tasks surviving node crash"]; r != 1.0 {
+		t.Errorf("tasks surviving node crash = %.2f, want 1.0 (exactly-once completion)", r)
+	}
+}

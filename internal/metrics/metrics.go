@@ -6,51 +6,89 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 )
 
-// Histogram records latency samples and reports summary statistics. It
-// stores raw samples (experiments here record at most a few million), which
-// keeps percentiles exact. Safe for concurrent use.
+// Histogram records latency samples and reports summary statistics. By
+// default it stores raw samples (experiments here record at most a few
+// million), which keeps percentiles exact; long-running recorders (the
+// scheduler) should bound memory with SetReservoir. Safe for concurrent
+// use.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
 	sum     float64
+	total   int
 	sorted  bool
+
+	cap int // 0 = unbounded (exact percentiles)
+	rng *rand.Rand
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram with exact percentiles.
 func NewHistogram() *Histogram { return &Histogram{} }
+
+// SetReservoir bounds the histogram to cap retained samples using
+// Vitter's Algorithm R: each of the first cap samples is kept, and the
+// i'th sample thereafter replaces a uniformly random retained one with
+// probability cap/i. Count and Mean stay exact (they track every
+// sample); Percentile, Min and Max become reservoir estimates. seed
+// makes runs reproducible. cap <= 0 restores unbounded exact mode.
+func (h *Histogram) SetReservoir(cap int, seed int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cap <= 0 {
+		h.cap, h.rng = 0, nil
+		return
+	}
+	h.cap = cap
+	h.rng = rand.New(rand.NewSource(seed))
+	if len(h.samples) > cap {
+		h.samples = h.samples[:cap]
+		h.sorted = false
+	}
+}
 
 // Record adds one sample (any unit; callers keep units consistent).
 func (h *Histogram) Record(v float64) {
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
+	h.total++
 	h.sum += v
-	h.sorted = false
+	if h.cap > 0 && len(h.samples) >= h.cap {
+		if j := h.rng.Intn(h.total); j < h.cap {
+			h.samples[j] = v
+			h.sorted = false
+		}
+	} else {
+		h.samples = append(h.samples, v)
+		h.sorted = false
+	}
 	h.mu.Unlock()
 }
 
 // RecordDuration adds one sample in nanoseconds.
 func (h *Histogram) RecordDuration(d time.Duration) { h.Record(float64(d.Nanoseconds())) }
 
-// Count returns the number of recorded samples.
+// Count returns the number of recorded samples (exact even when a
+// reservoir cap is set).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return h.total
 }
 
-// Mean returns the arithmetic mean, or 0 with no samples.
+// Mean returns the arithmetic mean, or 0 with no samples. It is exact
+// even when a reservoir cap is set.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.total == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.total)
 }
 
 // Percentile returns the p'th percentile (0 < p <= 100) by nearest-rank,
@@ -82,11 +120,12 @@ func (h *Histogram) Min() float64 { return h.Percentile(0.0001) }
 // Max returns the largest sample, or 0 with no samples.
 func (h *Histogram) Max() float64 { return h.Percentile(100) }
 
-// Reset discards all samples.
+// Reset discards all samples (the reservoir configuration persists).
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
 	h.sum = 0
+	h.total = 0
 	h.sorted = false
 	h.mu.Unlock()
 }

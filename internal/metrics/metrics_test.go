@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math"
+	"math/rand"
 	"strings"
 	"sync"
 	"testing"
@@ -101,5 +103,57 @@ func TestTable(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 4 {
 		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestReservoirMatchesExactPercentiles(t *testing.T) {
+	// Feed identical skewed streams to an exact histogram and a capped
+	// one; the reservoir's percentile estimates must land close to the
+	// exact values while holding ~25x fewer samples.
+	const n, cap = 100_000, 4096
+	exact := NewHistogram()
+	capped := NewHistogram()
+	capped.SetReservoir(cap, 42)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		// Log-normal-ish latency shape: a long tail over a tight body.
+		v := math.Exp(rng.NormFloat64()) * 1000
+		exact.Record(v)
+		capped.Record(v)
+	}
+	if got := capped.Count(); got != n {
+		t.Fatalf("capped Count = %d, want %d (count stays exact)", got, n)
+	}
+	if em, cm := exact.Mean(), capped.Mean(); math.Abs(em-cm) > 1e-6*em {
+		t.Fatalf("capped Mean = %v, exact = %v (mean stays exact)", cm, em)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		e, c := exact.Percentile(p), capped.Percentile(p)
+		if diff := math.Abs(e-c) / e; diff > 0.10 {
+			t.Errorf("p%.0f: reservoir %v vs exact %v (%.1f%% off, want <10%%)", p, c, e, diff*100)
+		}
+	}
+}
+
+func TestReservoirUncappedByDefaultAndRestorable(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(float64(i))
+	}
+	if got := h.Percentile(99); got != 98 {
+		t.Fatalf("exact p99 = %v, want 98", got)
+	}
+	h.SetReservoir(10, 1)
+	h.Record(1000) // over cap: must replace, not grow
+	if got := h.Count(); got != 101 {
+		t.Fatalf("Count = %d, want 101", got)
+	}
+	h.SetReservoir(0, 0) // back to exact mode
+	h.Reset()
+	for i := 0; i < 100; i++ {
+		h.Record(float64(i))
+	}
+	if got := h.Percentile(99); got != 98 {
+		t.Fatalf("restored exact p99 = %v, want 98", got)
 	}
 }

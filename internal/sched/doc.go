@@ -1,0 +1,42 @@
+// Package sched is FlacOS's rack-wide coordinated task scheduler: the
+// layer that makes the memory-interconnected rack schedulable like one
+// large multi-core machine. Its state is strategically split exactly as
+// the paper prescribes for kernel structures:
+//
+//   - Hot, node-private state stays local: each node's run queue of
+//     purely local tasks is a plain Go channel, and the consumer side of
+//     the node's announcement inbox is guarded by a node-private mutex.
+//     None of it ever crosses the fabric.
+//
+//   - Coordination state lives in global memory and is manipulated ONLY
+//     with fabric atomics (no Go pointers cross nodes, no reliance on
+//     cache coherence): a fixed-size task table whose slots carry a
+//     packed state word (generation | attempt | owner | state), a lease
+//     word, function/argument words and instrumentation words; a per-node
+//     load board (queued+running count, heartbeat); and global
+//     submitted/completed/queued counters.
+//
+// Placement is locality-aware: a task may carry a preferred node (e.g.
+// the node whose cache is warm with the task's memsys.Space pages), and
+// the submitter consults the load board to honor the preference unless
+// that node is overloaded. Announcement rides a per-node flacdk/ds
+// MPSC ring, but rings are only a latency optimization — ownership is
+// decided solely by a CAS on the task's state word, so idle nodes can
+// steal any queued task by scanning the shared table (cross-node work
+// stealing through the global queue).
+//
+// Failure handling is lease-based. A claim writes (owner, claim-beat)
+// into the task: the owner node's keeper goroutine renews all of its
+// leases implicitly by bumping the node's heartbeat word on the load
+// board every tick. When the fault injector crashes a node, its
+// heartbeat freezes; surviving keepers observe a Running task whose
+// owner's beat has not advanced for ProbeRounds consecutive ticks,
+// declare the lease expired, and re-queue the task (attempt+1) for any
+// survivor to claim. Completion is published with a generation-checked
+// CAS, so even if a slow node is falsely declared dead and its task
+// re-dispatched, exactly one completion is recorded and the completion
+// cell (if any) is bumped exactly once. Task bodies should therefore be
+// idempotent or publish their effects through their own global-memory
+// protocol: the scheduler guarantees at-least-once execution and
+// exactly-once completion.
+package sched

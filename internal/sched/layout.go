@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"time"
+
+	"flacos/internal/fabric"
+)
+
+// Task slot states. A slot cycles Free -> Init (submitter fills words) ->
+// Queued -> Running -> Free(gen+1); a reclaimed task detours
+// Running -> Init(attempt+1) -> Queued without changing generation.
+const (
+	stFree    = 0
+	stInit    = 1
+	stQueued  = 2
+	stRunning = 3
+)
+
+// The state word packs gen(32) | attempt(16) | owner(8) | state(8). The
+// generation advances once per slot lifecycle (at completion), so a
+// Handle's generation comparison tells waiters when their task is done
+// even after the slot is reused; the attempt counter advances on every
+// lease reclaim so a stale runner's completion CAS can never succeed
+// against a re-dispatched incarnation of the same task.
+func packState(gen, attempt uint64, owner int, state uint64) uint64 {
+	return gen<<32 | (attempt&0xffff)<<16 | uint64(owner&0xff)<<8 | state&0xff
+}
+
+func stGen(w uint64) uint64     { return w >> 32 }
+func stAttempt(w uint64) uint64 { return (w >> 16) & 0xffff }
+func stOwner(w uint64) int      { return int((w >> 8) & 0xff) }
+func stState(w uint64) uint64   { return w & 0xff }
+
+// noPreference is the preferred-node byte meaning "run anywhere".
+const noPreference = 0xff
+
+// Slot layout: one cache line per task so fabric atomics on different
+// tasks never share a line. Words:
+//
+//	w0 state      gen|attempt|owner|state (all transitions via CAS)
+//	w1 lease      owner's heartbeat value at claim time
+//	w2 fn         registered function index
+//	w3 arg0       first argument (often a GPtr to task state)
+//	w4 arg1       second argument
+//	w5 routing    assigned<<8 | preferred (bytes)
+//	w6 enqueueNS  wall-clock ns at (re-)queue, for dispatch latency
+//	w7 doneCell   optional GPtr FAA'd exactly once at completion
+const (
+	slotBytes = fabric.LineSize
+
+	offState   = 0
+	offLease   = 8
+	offFn      = 16
+	offArg0    = 24
+	offArg1    = 32
+	offRouting = 40
+	offEnqueue = 48
+	offCell    = 56
+)
+
+// Load-board layout: one line per node. w0 is the node's load (tasks
+// queued for or running on it), w1 its heartbeat (lease renewal beat).
+const (
+	boardBytes = fabric.LineSize
+	offLoad    = 0
+	offBeat    = 8
+)
+
+// Global counter line words.
+const (
+	offSubmitted = 0
+	offCompleted = 8
+	offQueuedCnt = 16
+)
+
+func (s *Scheduler) slotG(i uint64) fabric.GPtr  { return s.tableG.Add(i * slotBytes) }
+func (s *Scheduler) stateG(i uint64) fabric.GPtr { return s.slotG(i).Add(offState) }
+func (s *Scheduler) leaseG(i uint64) fabric.GPtr { return s.slotG(i).Add(offLease) }
+func (s *Scheduler) fnG(i uint64) fabric.GPtr    { return s.slotG(i).Add(offFn) }
+func (s *Scheduler) arg0G(i uint64) fabric.GPtr  { return s.slotG(i).Add(offArg0) }
+func (s *Scheduler) arg1G(i uint64) fabric.GPtr  { return s.slotG(i).Add(offArg1) }
+func (s *Scheduler) routeG(i uint64) fabric.GPtr { return s.slotG(i).Add(offRouting) }
+func (s *Scheduler) enqG(i uint64) fabric.GPtr   { return s.slotG(i).Add(offEnqueue) }
+func (s *Scheduler) cellG(i uint64) fabric.GPtr  { return s.slotG(i).Add(offCell) }
+
+func (s *Scheduler) loadG(node int) fabric.GPtr {
+	return s.boardG.Add(uint64(node)*boardBytes + offLoad)
+}
+func (s *Scheduler) beatG(node int) fabric.GPtr {
+	return s.boardG.Add(uint64(node)*boardBytes + offBeat)
+}
+
+func (s *Scheduler) submittedG() fabric.GPtr { return s.ctrG.Add(offSubmitted) }
+func (s *Scheduler) completedG() fabric.GPtr { return s.ctrG.Add(offCompleted) }
+func (s *Scheduler) queuedG() fabric.GPtr    { return s.ctrG.Add(offQueuedCnt) }
+
+func packRoute(assigned, preferred int) uint64 {
+	return uint64(assigned&0xff)<<8 | uint64(preferred&0xff)
+}
+
+func routeAssigned(w uint64) int  { return int((w >> 8) & 0xff) }
+func routePreferred(w uint64) int { return int(w & 0xff) }
+
+// nowNS is the wall clock used for dispatch-latency instrumentation. It
+// is measurement only: no scheduling decision depends on it.
+func nowNS() uint64 { return uint64(time.Now().UnixNano()) }
+
+func latencyNS(from, to uint64) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(to - from)
+}

@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"encoding/binary"
+	"time"
+
+	"flacos/internal/fabric"
+)
+
+// worker is one claiming goroutine of node id — one of the node's CPUs
+// from the scheduler's point of view. It drains the node-private local
+// queue first (hottest path), then the announcement inbox, then scans
+// the global table (own-preferred tasks first, then stealing). When the
+// node crashes, the fabric panics on its next memory operation and the
+// worker dies with its node.
+func (s *Scheduler) worker(id int) {
+	defer s.wg.Done()
+	n := s.fab.Node(id)
+	defer func() {
+		if r := recover(); r != nil {
+			if n.Crashed() {
+				return // this CPU died with its node
+			}
+			panic(r)
+		}
+	}()
+	timer := time.NewTimer(s.cfg.IdleTick)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		// 1. Node-private run queue: plain Go, zero fabric traffic.
+		select {
+		case t := <-s.localQ[id]:
+			t(n)
+			s.localRun.Add(1)
+			s.localDone.Add(1)
+			continue
+		default:
+		}
+		// 2. Announcement inbox: the fast path for tasks placed here.
+		if slot, ok := s.popInbox(n, id); ok {
+			s.claimAndRun(n, id, slot)
+			continue
+		}
+		// 3. Global table: own-preferred first, then cross-node steal.
+		if n.AtomicLoad64(s.queuedG()) > 0 && s.scanAndRun(n, id) {
+			continue
+		}
+		// 4. Idle: wait for a doorbell or the next steal tick.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(s.cfg.IdleTick)
+		select {
+		case <-s.stop:
+			return
+		case <-s.notify[id]:
+		case <-timer.C:
+		case t := <-s.localQ[id]:
+			t(n)
+			s.localRun.Add(1)
+			s.localDone.Add(1)
+		}
+	}
+}
+
+// popInbox pops one announced slot index from the node's inbox ring.
+// The ring is multi-producer single-consumer; the node-private mutex
+// funnels this node's many workers into the one consumer role.
+func (s *Scheduler) popInbox(n *fabric.Node, id int) (uint64, bool) {
+	s.inboxMu[id].Lock()
+	defer s.inboxMu[id].Unlock()
+	var buf [8]byte
+	ln, ok := s.inboxes[id].TryPop(n, buf[:])
+	if !ok || ln != 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(buf[:]), true
+}
+
+// scanAndRun walks the task table looking for Queued work: first a task
+// preferring this node, otherwise any task (a steal). Returns whether a
+// task was claimed and run.
+func (s *Scheduler) scanAndRun(n *fabric.Node, id int) bool {
+	cap := s.cfg.TableCap
+	start := uint64(id) * (cap / uint64(s.fab.NumNodes()))
+	now := nowNS()
+	fallback, haveFallback := uint64(0), false
+	for k := uint64(0); k < cap; k++ {
+		i := (start + k) % cap
+		if stState(n.AtomicLoad64(s.stateG(i))) != stQueued {
+			continue
+		}
+		pref := routePreferred(n.AtomicLoad64(s.routeG(i)))
+		if pref == id {
+			if s.claimAndRun(n, id, i) {
+				return true
+			}
+			continue
+		}
+		if haveFallback {
+			continue
+		}
+		// Steal grace: leave a fresh task to its live preferred node.
+		if pref != noPreference && pref < s.fab.NumNodes() && !s.fab.Node(pref).Crashed() &&
+			latencyNS(n.AtomicLoad64(s.enqG(i)), now) < float64(s.cfg.StealGrace.Nanoseconds()) {
+			continue
+		}
+		fallback, haveFallback = i, true
+	}
+	if haveFallback {
+		return s.claimAndRun(n, id, fallback)
+	}
+	return false
+}
+
+// claimAndRun CASes the slot Queued->Running on behalf of node id, runs
+// the task, and publishes completion with a generation-advancing CAS.
+// A failed claim (someone else won the race) returns false. The claim
+// CAS is the single point of ownership: announcements and scans are
+// only hints.
+func (s *Scheduler) claimAndRun(n *fabric.Node, id int, slot uint64) bool {
+	w := n.AtomicLoad64(s.stateG(slot))
+	if stState(w) != stQueued {
+		return false
+	}
+	running := packState(stGen(w), stAttempt(w), id, stRunning)
+	if !n.CAS64(s.stateG(slot), w, running) {
+		return false
+	}
+	// Lease: record the beat this claim starts at; the node's keeper
+	// renews it by advancing the heartbeat every tick.
+	n.AtomicStore64(s.leaseG(slot), n.AtomicLoad64(s.beatG(id)))
+	n.Add64(s.queuedG(), ^uint64(0))
+	assigned := routeAssigned(n.AtomicLoad64(s.routeG(slot)))
+	if assigned != id {
+		n.Add64(s.loadG(assigned), ^uint64(0))
+		n.Add64(s.loadG(id), 1)
+		s.stolen.Add(1)
+	}
+	enq := n.AtomicLoad64(s.enqG(slot))
+	claimed := nowNS()
+	if stAttempt(w) > 0 {
+		s.redispatch.Record(latencyNS(enq, claimed))
+	} else {
+		s.dispatch.Record(latencyNS(enq, claimed))
+	}
+	fnID := n.AtomicLoad64(s.fnG(slot))
+	arg0 := n.AtomicLoad64(s.arg0G(slot))
+	arg1 := n.AtomicLoad64(s.arg1G(slot))
+	cell := n.AtomicLoad64(s.cellG(slot))
+
+	s.fn(fnID)(n, arg0, arg1)
+
+	// Completion: only the incarnation whose exact (gen, attempt, owner)
+	// word is still current may free the slot — a task re-dispatched
+	// after a (possibly false) lease expiry bumped the attempt, so a
+	// stale runner's CAS fails here and completion stays exactly-once.
+	if n.CAS64(s.stateG(slot), running, packState(stGen(w)+1, 0, 0, stFree)) {
+		if cell != 0 {
+			n.Add64(fabric.GPtr(cell), 1)
+		}
+		n.Add64(s.completedG(), 1)
+		n.Add64(s.loadG(id), ^uint64(0))
+		s.service.Record(latencyNS(claimed, nowNS()))
+	}
+	return true
+}

@@ -42,9 +42,22 @@ type Controller struct {
 	runtimes []*NodeRuntime
 	services *ipc.ServiceTable
 
-	mu   sync.Mutex
-	fns  map[string]*Function
-	load []int // warm instances per node (density tracking)
+	mu     sync.Mutex
+	fns    map[string]*Function
+	load   []int // warm instances per node (density tracking)
+	placer func(density []int) int
+}
+
+// SetPlacer installs an external placement oracle consulted by pickNode
+// with a snapshot of the per-node instance density. The rack wires the
+// coordinated scheduler's PickNode here so container placement sees the
+// global load board (and skips crashed nodes), not just this control
+// plane's own density. A nil or out-of-range answer falls back to the
+// built-in least-loaded choice.
+func (c *Controller) SetPlacer(p func(density []int) int) {
+	c.mu.Lock()
+	c.placer = p
+	c.mu.Unlock()
 }
 
 // NewController creates a control plane over the per-node runtimes.
@@ -73,8 +86,17 @@ func (c *Controller) Deploy(name, image string, handler ipc.Handler) (*Function,
 	return f, nil
 }
 
-// pickNode returns the least-loaded runtime (density-aware placement).
+// pickNode returns the next placement target: the installed placer's
+// answer when one is set and sane, otherwise the least-loaded runtime
+// (density-aware placement). Callers hold c.mu.
 func (c *Controller) pickNode() int {
+	if c.placer != nil {
+		density := make([]int, len(c.load))
+		copy(density, c.load)
+		if id := c.placer(density); id >= 0 && id < len(c.runtimes) {
+			return id
+		}
+	}
 	best := 0
 	for i := 1; i < len(c.load); i++ {
 		if c.load[i] < c.load[best] {
