@@ -13,8 +13,16 @@
 //	flacbench -experiment dedup        # ablation E: page dedup
 //	flacbench -experiment density      # ablation F: density-aware routing
 //	flacbench -experiment sched        # ablation G: coordinated scheduling
+//	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
+//	flacbench -experiment torture -seed 42            # replay one failing seed
+//	flacbench -experiment torture -torture-break ring-invalidate  # checker self-test
 //	flacbench -list                    # list experiments, one per line
 //	flacbench -quick                   # smaller workloads, same shapes
+//
+// The torture matrix exits nonzero if any sweep fails and writes the
+// failing reports (seed + event trace) to torture-failures.txt for CI
+// artifact upload. With -torture-break it inverts: the run must FAIL
+// (the deliberately broken path must be caught) or flacbench exits 1.
 package main
 
 import (
@@ -27,9 +35,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
+	tortureBreak := flag.String("torture-break", "", "torture: enable a deliberately broken sync path (ring-invalidate|shootdown); the run must then be caught as FAIL")
+	tortureWorkload := flag.String("torture-workload", "", "torture: restrict the matrix to one workload (ds|sched|fs|memsys)")
 	flag.Parse()
 
 	runners := map[string]func(quick bool) *experiments.Result{
@@ -95,7 +106,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -107,7 +118,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -115,10 +126,69 @@ func main() {
 		os.Exit(2)
 	}
 
+	exitCode := 0
 	for _, name := range selected {
 		start := time.Now()
-		res := runners[name](*quick)
+		var res *experiments.Result
+		if name == "torture" {
+			var failed bool
+			res, failed = runTorture(*quick, *seed, *tortureBreak, *tortureWorkload)
+			if failed {
+				exitCode = 1
+			}
+		} else {
+			res = runners[name](*quick)
+		}
 		fmt.Println(res.String())
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
 	}
+	os.Exit(exitCode)
+}
+
+// runTorture executes the torture matrix with the CLI's replay/break
+// overrides and handles its pass/fail contract: normally any failing
+// sweep makes flacbench exit nonzero and lands in torture-failures.txt;
+// under -torture-break the matrix MUST fail (the planted bug must be
+// caught), so a clean run is the error.
+func runTorture(quick bool, seed int64, brk, workload string) (*experiments.Result, bool) {
+	cfg := experiments.DefaultTorture()
+	if quick {
+		cfg.Seeds = []int64{1, 7}
+		cfg.OpsPerClient = 120
+		cfg.Events = 4
+	}
+	if seed != 0 {
+		cfg.Seeds = []int64{seed}
+	}
+	cfg.Break = brk
+	if workload != "" {
+		cfg.Workloads = []string{workload}
+	}
+	res, failures := experiments.Torture(cfg)
+
+	if brk != "" {
+		if len(failures) == 0 {
+			fmt.Fprintf(os.Stderr, "flacbench: broken path %q was NOT caught by any sweep\n", brk)
+			return res, true
+		}
+		fmt.Printf("broken path %q caught by %d sweep(s), as required\n", brk, len(failures))
+		return res, false
+	}
+	if len(failures) > 0 {
+		f, err := os.Create("torture-failures.txt")
+		if err == nil {
+			for _, rep := range failures {
+				fmt.Fprintln(f, rep.String())
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "flacbench: %d torture sweep(s) failed; reports written to torture-failures.txt\n", len(failures))
+		} else {
+			fmt.Fprintf(os.Stderr, "flacbench: %d torture sweep(s) failed (could not write report file: %v)\n", len(failures), err)
+		}
+		for _, rep := range failures {
+			fmt.Fprint(os.Stderr, rep.String())
+		}
+		return res, true
+	}
+	return res, false
 }

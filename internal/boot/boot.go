@@ -136,6 +136,10 @@ func decode(b []byte) (HWDesc, error) {
 	return d, nil
 }
 
+// DefaultPayloadCap is the conventional payload budget for the table
+// reservation (core.Boot reserves TableCap(DefaultPayloadCap)).
+const DefaultPayloadCap = 16 << 10
+
 // TableCap returns the reservation size needed for a table whose payload
 // is at most payloadCap bytes.
 func TableCap(payloadCap uint64) uint64 {
@@ -155,8 +159,18 @@ func Publish(n *fabric.Node, g fabric.GPtr, desc HWDesc) error {
 	return nil
 }
 
-// Discover reads and validates the table from any node.
+// Discover reads and validates the table from any node, assuming the
+// conventional DefaultPayloadCap reservation.
 func Discover(n *fabric.Node, g fabric.GPtr) (HWDesc, error) {
+	return DiscoverCapped(n, g, DefaultPayloadCap)
+}
+
+// DiscoverCapped reads and validates a table reserved with
+// TableCap(payloadCap) space. Every header word comes from shared memory
+// a corrupted or hostile node may have scribbled on, so nothing in it is
+// trusted: an implausible length is rejected before it can drive reads
+// outside the reservation.
+func DiscoverCapped(n *fabric.Node, g fabric.GPtr, payloadCap uint64) (HWDesc, error) {
 	if n.AtomicLoad64(g) != Magic {
 		return HWDesc{}, ErrNoTable
 	}
@@ -165,6 +179,9 @@ func Discover(n *fabric.Node, g fabric.GPtr) (HWDesc, error) {
 		return HWDesc{}, fmt.Errorf("boot: unsupported table version %d", meta>>32)
 	}
 	ln := uint64(uint32(meta))
+	if ln > payloadCap {
+		return HWDesc{}, fmt.Errorf("boot: table length %d exceeds reservation %d (corrupted?)", ln, payloadCap)
+	}
 	payload := make([]byte, ln)
 	n.InvalidateRange(g.Add(fabric.LineSize), ln)
 	n.Read(g.Add(fabric.LineSize), payload)

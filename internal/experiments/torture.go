@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flacos/internal/metrics"
+	"flacos/internal/torture"
+)
+
+// TortureConfig parameterizes the torture matrix: every selected workload
+// is swept under every seed.
+type TortureConfig struct {
+	// Seeds to sweep; each fully determines a fault schedule.
+	Seeds []int64
+	// Workloads filters by name (empty = all registered).
+	Workloads []string
+	// Nodes, OpsPerClient, Events size each sweep (zero = torture defaults).
+	Nodes        int
+	OpsPerClient int
+	Events       int
+	// Break enables a named deliberately-broken sync path; the matrix is
+	// then expected to FAIL (the checkers must catch the bug).
+	Break string
+}
+
+// DefaultTorture is the nightly-scale matrix.
+func DefaultTorture() TortureConfig {
+	return TortureConfig{
+		Seeds:        []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Nodes:        3,
+		OpsPerClient: 400,
+		Events:       6,
+	}
+}
+
+// Torture runs the matrix and returns the rendered table plus the failing
+// reports (each carries the seed and compact event trace for replay).
+func Torture(cfg TortureConfig) (*Result, []*torture.Report) {
+	res := &Result{
+		Name:   "torture: seeded rack-wide fault sweep",
+		Table:  metrics.NewTable("workload", "seed", "faults", "ops", "events", "flips", "drops", "verdict"),
+		Ratios: map[string]float64{},
+	}
+	names := cfg.Workloads
+	if len(names) == 0 {
+		for _, w := range torture.Workloads() {
+			names = append(names, w.Name())
+		}
+	}
+	var failures []*torture.Report
+	for _, name := range names {
+		for _, seed := range cfg.Seeds {
+			w := torture.ByName(name)
+			if w == nil {
+				panic(fmt.Sprintf("experiments: unknown torture workload %q", name))
+			}
+			rep := torture.Run(w, torture.Config{
+				Seed:         seed,
+				Nodes:        cfg.Nodes,
+				OpsPerClient: cfg.OpsPerClient,
+				Events:       cfg.Events,
+				Break:        cfg.Break,
+			})
+			res.Table.AddRow(rep.Workload, fmt.Sprintf("%d", rep.Seed), rep.Faults.String(),
+				fmt.Sprintf("%d", rep.Ops), fmt.Sprintf("%d", len(rep.Events)),
+				fmt.Sprintf("%d", rep.BitFlips), fmt.Sprintf("%d", rep.DroppedWBs), rep.Verdict())
+			if !rep.Passed() {
+				failures = append(failures, rep)
+			}
+		}
+	}
+	return res, failures
+}

@@ -129,7 +129,7 @@ func (n *Node) charge(ns int) {
 // globalCost returns the modeled cost of one home-memory access from node n,
 // including hop costs, plus PerLineNS for each line beyond the first.
 func (n *Node) globalCost(lines int) int {
-	c := n.fab.lat.GlobalNS + n.hops*n.fab.lat.HopNS
+	c := n.fab.lat.GlobalNS + n.totalHops()*n.fab.lat.HopNS
 	if lines > 1 {
 		c += (lines - 1) * n.fab.lat.PerLineNS
 	}

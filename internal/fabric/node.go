@@ -14,6 +14,7 @@ type Node struct {
 	id      int
 	fab     *Fabric
 	hops    int
+	extra   atomic.Int64 // runtime link degradation, in additional hops
 	cache   *cache
 	crashed atomic.Bool
 	stats   NodeStats
@@ -24,6 +25,22 @@ func (n *Node) ID() int { return n.id }
 
 // Hops returns the node's interconnect distance to home memory.
 func (n *Node) Hops() int { return n.hops }
+
+// SetLinkDegradation adds extra (>= 0) hops to every home-memory access
+// from this node, modeling a degraded or rerouted interconnect link. It is
+// safe to call while the node is running ops; fault sweeps toggle it live.
+func (n *Node) SetLinkDegradation(extra int) {
+	if extra < 0 {
+		extra = 0
+	}
+	n.extra.Store(int64(extra))
+}
+
+// LinkDegradation returns the extra hop count currently applied.
+func (n *Node) LinkDegradation() int { return int(n.extra.Load()) }
+
+// totalHops is the effective interconnect distance including degradation.
+func (n *Node) totalHops() int { return n.hops + int(n.extra.Load()) }
 
 // Fabric returns the fabric this node is attached to.
 func (n *Node) Fabric() *Fabric { return n.fab }
@@ -253,7 +270,7 @@ func (n *Node) atomicPre(g GPtr) uint64 {
 	n.fab.checkRange(g, WordSize)
 	n.checkAligned(g, WordSize)
 	n.stats.Atomics.Add(1)
-	n.charge(n.fab.lat.AtomicNS + n.hops*n.fab.lat.HopNS)
+	n.charge(n.fab.lat.AtomicNS + n.totalHops()*n.fab.lat.HopNS)
 	return uint64(g) / WordSize
 }
 

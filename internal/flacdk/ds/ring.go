@@ -3,9 +3,19 @@ package ds
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"flacos/internal/fabric"
 )
+
+// brokenSkipPopInvalidate makes SPSCRing.TryPop skip the cache invalidate
+// that makes the producer's published payload visible — a deliberately
+// broken sync path the torture harness enables (-torture-break
+// ring-invalidate) to prove its checkers catch a removed invalidate.
+var brokenSkipPopInvalidate atomic.Bool
+
+// SetBrokenSkipPopInvalidate toggles the torture-only broken consume path.
+func SetBrokenSkipPopInvalidate(on bool) { brokenSkipPopInvalidate.Store(on) }
 
 // SPSCRing is a single-producer single-consumer ring of variable-length
 // messages in global memory: the zero-copy data plane FlacOS IPC builds on
@@ -83,7 +93,9 @@ func (r *SPSCRing) TryPop(n *fabric.Node, buf []byte) (int, bool) {
 		return 0, false
 	}
 	s := r.slotG(h)
-	n.InvalidateRange(s, r.slotSize)
+	if !brokenSkipPopInvalidate.Load() {
+		n.InvalidateRange(s, r.slotSize)
+	}
 	ln := n.Load64(s)
 	if ln > uint64(len(buf)) {
 		panic(fmt.Sprintf("ds: buffer %d too small for message %d", len(buf), ln))

@@ -76,6 +76,10 @@ type Participant struct {
 	depth   int
 }
 
+// ID returns the participant's slot in the domain (used to Fence it after
+// a crash).
+func (p *Participant) ID() int { return p.id }
+
 // Participant attaches node n as participant id (0 <= id < maxParticipants).
 func (d *Domain) Participant(n *fabric.Node, id int) *Participant {
 	if id < 0 || id >= len(d.resG) {
@@ -145,6 +149,19 @@ func (p *Participant) TryAdvance() bool {
 		}
 	}
 	return n.CAS64(d.epochG, e, e+1)
+}
+
+// Fence clears participant id's reservation word on behalf of a crashed
+// node, acting from live node n. A participant that dies inside a read
+// section leaves its reservation pinned forever, which would stall epoch
+// advance (and with it all reclamation) rack-wide; crash recovery fences
+// the dead participant exactly like an expired lease. The fenced
+// Participant object must never be used again — attach a fresh one.
+func (d *Domain) Fence(n *fabric.Node, id int) {
+	if id < 0 || id >= len(d.resG) {
+		panic(fmt.Sprintf("quiescence: participant id %d out of range [0,%d)", id, len(d.resG)))
+	}
+	n.AtomicStore64(d.resG[id], 0)
 }
 
 // Collect runs every retired callback whose grace period has elapsed and

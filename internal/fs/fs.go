@@ -197,6 +197,18 @@ func (fs *FS) Mount(n *fabric.Node) *Mount {
 // Node returns the mount's fabric node.
 func (m *Mount) Node() *fabric.Node { return m.node }
 
+// FenceMount recovers from the crash of dead's node: acting from live
+// node `from`, it clears the dead mount's quiescence reservation so a
+// participant that died inside a read section cannot stall epoch advance
+// (and with it frame reclamation) rack-wide forever. The fenced Mount
+// must never be used again; after the node restarts, attach a fresh one
+// with FS.Mount. Retirements the dead mount still held are lost — those
+// frames leak, exactly like memory held by a crashed kernel until a full
+// device fsck, so size the cache with crash headroom.
+func (fs *FS) FenceMount(from *fabric.Node, dead *Mount) {
+	fs.qdom.Fence(from, dead.part.ID())
+}
+
 // MetaReplica exposes the metadata replica for journal-recovery flows.
 func (m *Mount) MetaReplica() *replication.Replica { return m.metaRep }
 

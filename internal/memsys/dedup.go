@@ -13,9 +13,16 @@ import (
 // frames freed. Returns how many pages were merged; the memory saved is
 // merged*PageSize.
 //
-// The pass runs from one MMU (a housekeeping thread); concurrent writers
-// are safe because remapping uses CAS against the observed PTE — a page
-// that changed under the scanner simply fails its CAS and is skipped.
+// The pass runs from one MMU (a housekeeping thread). Concurrent writers
+// are safe because both pages are write-protected (COW) BEFORE their
+// contents are compared for the merge decision: a mapped-COW frame is
+// immutable (any write copies away through breakCOW, changing the PTE),
+// so equality observed after protection cannot be invalidated later, and
+// a writer that slipped a store in before protection is caught by the
+// post-protect re-read. Writers racing the protect itself re-validate
+// their PTE after the store (MMU.Write) and redo the write through the
+// COW fault path, so no store is ever silently absorbed into a shared
+// frame.
 func (m *MMU) DedupPass() (merged int) {
 	m.vmaRep.Sync()
 	var vmas []VMA
@@ -23,12 +30,7 @@ func (m *MMU) DedupPass() (merged int) {
 		vmas = append([]VMA(nil), m.vmas.vmas...)
 	})
 
-	type canon struct {
-		vpn     uint64
-		pte     PTE
-		content []byte
-	}
-	byHash := make(map[uint64][]canon)
+	byHash := make(map[uint64][]dedupCanon)
 	buf := make([]byte, PageSize)
 
 	for _, vma := range vmas {
@@ -51,33 +53,14 @@ func (m *MMU) DedupPass() (merged int) {
 					matched = true // already sharing the canonical frame
 					break
 				}
-				// Make the canonical mapping COW if it is not already.
-				canonPTE := PTE(m.space.pt.Get(m.node, c.vpn))
-				if canonPTE != c.pte && canonPTE != c.pte.WithCOW() {
-					continue // canonical page changed; not a safe target
+				if m.mergeInto(vpn, p, c) {
+					merged++
+					matched = true
+					break
 				}
-				if canonPTE == c.pte && c.pte.Writable() {
-					if !m.space.pt.CompareAndSwap(m.node, m.pta, c.vpn, uint64(c.pte), uint64(c.pte.WithCOW())) {
-						continue
-					}
-					m.space.shootdown(m, c.vpn)
-				}
-				// Repoint the duplicate at the canonical frame, COW.
-				target := MakeGlobalPTE(c.pte.GlobalPhys(), false) | PteCOW
-				m.space.frames.Ref(m.node, c.pte.GlobalPhys())
-				if !m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(p), uint64(target)) {
-					m.space.frames.Unref(m.node, c.pte.GlobalPhys())
-					continue // page changed under us; skip
-				}
-				m.tlb.invalidate(vpn)
-				m.space.shootdown(m, vpn)
-				m.space.frames.Unref(m.node, p.GlobalPhys())
-				merged++
-				matched = true
-				break
 			}
 			if !matched {
-				byHash[key] = append(byHash[key], canon{
+				byHash[key] = append(byHash[key], dedupCanon{
 					vpn:     vpn,
 					pte:     p,
 					content: append([]byte(nil), buf...),
@@ -86,4 +69,72 @@ func (m *MMU) DedupPass() (merged int) {
 		}
 	}
 	return merged
+}
+
+// dedupCanon records a candidate canonical page as first scanned.
+type dedupCanon struct {
+	vpn     uint64
+	pte     PTE
+	content []byte
+}
+
+// mergeInto remaps duplicate page vpn (scanned as p) onto canonical c's
+// frame. Returns whether the merge happened; any lost race skips it.
+func (m *MMU) mergeInto(vpn uint64, p PTE, c dedupCanon) bool {
+	// 1. Write-protect the canonical mapping (make it COW) if a writer
+	// could still store into its frame in place.
+	canonPTE := PTE(m.space.pt.Get(m.node, c.vpn))
+	switch canonPTE {
+	case c.pte:
+		if c.pte.Writable() {
+			if !m.space.pt.CompareAndSwap(m.node, m.pta, c.vpn, uint64(c.pte), uint64(c.pte.WithCOW())) {
+				return false
+			}
+			canonPTE = c.pte.WithCOW()
+			m.tlb.invalidate(c.vpn)
+			m.space.shootdown(m, c.vpn)
+		}
+	case c.pte.WithCOW():
+		// Already protected (an earlier merge onto the same canonical).
+	default:
+		return false // canonical page changed; not a safe target
+	}
+	// 2. Write-protect the duplicate the same way.
+	dup := p
+	if dup.Writable() && !dup.COW() {
+		prot := dup.WithCOW()
+		if !m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(dup), uint64(prot)) {
+			return false
+		}
+		dup = prot
+		m.tlb.invalidate(vpn)
+		m.space.shootdown(m, vpn)
+	}
+	// 3. Both frames are now immutable while so mapped; re-read and
+	// re-compare to catch any store that landed before protection. On a
+	// mismatch both pages simply stay COW — correct, merely slower.
+	ca := make([]byte, PageSize)
+	da := make([]byte, PageSize)
+	m.readFrame(MakeGlobalPTE(c.pte.GlobalPhys(), false), 0, ca)
+	m.readFrame(MakeGlobalPTE(dup.GlobalPhys(), false), 0, da)
+	if !bytes.Equal(ca, da) {
+		return false
+	}
+	// 4. Re-confirm the canonical mapping still pins its frame, take a
+	// reference, and repoint the duplicate.
+	if PTE(m.space.pt.Get(m.node, c.vpn)) != canonPTE {
+		return false
+	}
+	if !m.space.frames.TryRef(m.node, c.pte.GlobalPhys()) {
+		return false // every sharer COW-broke away and the frame was freed
+	}
+	target := MakeGlobalPTE(c.pte.GlobalPhys(), false) | PteCOW
+	if !m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(dup), uint64(target)) {
+		m.space.frames.Unref(m.node, c.pte.GlobalPhys())
+		return false // page changed under us; skip
+	}
+	m.tlb.invalidate(vpn)
+	m.space.shootdown(m, vpn)
+	m.space.frames.Unref(m.node, dup.GlobalPhys())
+	return true
 }

@@ -97,6 +97,23 @@ func (gf *GlobalFrames) Ref(n *fabric.Node, phys uint64) {
 	}
 }
 
+// TryRef increments the refcount iff the frame is still live, returning
+// whether a reference was taken. DedupPass uses it for the canonical
+// frame, which every sharer can concurrently COW-break away from and
+// free: losing that race must skip the merge, not panic.
+func (gf *GlobalFrames) TryRef(n *fabric.Node, phys uint64) bool {
+	key := phys >> PageShift
+	for {
+		c, ok := gf.refs.Get(n, key)
+		if !ok || c == 0 {
+			return false
+		}
+		if gf.refs.CompareAndSwap(n, key, c, c+1) {
+			return true
+		}
+	}
+}
+
 // Unref decrements the refcount, pushing the frame onto the free list when
 // it reaches zero. Returns true when the frame was actually freed.
 func (gf *GlobalFrames) Unref(n *fabric.Node, phys uint64) bool {

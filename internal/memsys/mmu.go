@@ -376,6 +376,13 @@ func (m *MMU) Read(va uint64, buf []byte) error {
 
 // Write copies data to virtual address va with write-through to home
 // memory, breaking COW and faulting pages in as needed.
+//
+// After each page's store the PTE is re-validated: a translation is the
+// software stand-in for a TLB entry held across the store, and a
+// concurrent write-protect (dedup's merge fence) or migration that landed
+// mid-store would otherwise absorb the data into a frame about to be
+// shared or abandoned. A changed PTE redoes the chunk through the fault
+// path — the same retry a real core performs after a shootdown IPI.
 func (m *MMU) Write(va uint64, data []byte) error {
 	for done := 0; done < len(data); {
 		vpn := (va + uint64(done)) >> PageShift
@@ -386,6 +393,10 @@ func (m *MMU) Write(va uint64, data []byte) error {
 			return err
 		}
 		m.writeFrame(p, off, data[done:done+int(chunk)])
+		if PTE(m.space.pt.Get(m.node, vpn)) != p {
+			m.tlb.invalidate(vpn)
+			continue // mapping changed under the store: redo this chunk
+		}
 		done += int(chunk)
 	}
 	return nil

@@ -5,12 +5,21 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"flacos/internal/fabric"
 	"flacos/internal/flacdk/alloc"
 	"flacos/internal/flacdk/ds"
 	"flacos/internal/flacdk/replication"
 )
+
+// brokenSkipShootdown suppresses remote TLB shootdowns — a deliberately
+// broken sync path the torture harness enables (-torture-break shootdown)
+// to prove its no-stale-mapping checker catches a missing shootdown.
+var brokenSkipShootdown atomic.Bool
+
+// SetBrokenSkipShootdown toggles the torture-only broken shootdown path.
+func SetBrokenSkipShootdown(on bool) { brokenSkipShootdown.Store(on) }
 
 // Prot is a mapping's protection.
 type Prot uint32
@@ -243,6 +252,9 @@ func (s *Space) Detach(m *MMU) {
 // shootdown invalidates vpn from every other attached MMU's TLB — the
 // rack-wide TLB shootdown of §3.3, modeled as one IPI per remote MMU.
 func (s *Space) shootdown(from *MMU, vpn uint64) {
+	if brokenSkipShootdown.Load() {
+		return
+	}
 	s.mu.Lock()
 	targets := make([]*MMU, 0, len(s.mmus))
 	for _, m := range s.mmus {

@@ -1,0 +1,105 @@
+package redis
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// respSeeds is the shared corpus: every well-formed and malformed shape
+// the unit tests exercise, plus the hostile lengths the decoder hardens
+// against (overflow-inducing bulk length, unbackable array count).
+var respSeeds = []string{
+	"+OK\r\n",
+	"-ERR x\r\n",
+	":-42\r\n",
+	":9223372036854775807\r\n",
+	"$-1\r\n",
+	"$3\r\nabc\r\n",
+	"$0\r\n\r\n",
+	"*0\r\n",
+	"*2\r\n$3\r\nSET\r\n$1\r\nk\r\n",
+	"*1\r\n*1\r\n:1\r\n",
+	"", "x", "+OK", "$5\r\nab\r\n", ":abc\r\n", "*2\r\n+a\r\n", "$3\r\nabcXX",
+	"$9223372036854775806\r\n\r\n",
+	"*2147483647\r\n",
+	"*-1\r\n",
+	"$\r\n", "*\r\n", ":\r\n",
+	"\r\n", "+\r\n",
+}
+
+// FuzzRESPDecode feeds arbitrary bytes to Decode: it must never panic,
+// and on success the consumed count must be a sane self-delimiting prefix
+// (decoding just that prefix yields the identical value).
+func FuzzRESPDecode(f *testing.F) {
+	for _, s := range respSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("Decode(%q) consumed %d of %d bytes", data, n, len(data))
+		}
+		v2, n2, err2 := Decode(data[:n])
+		if err2 != nil || n2 != n || !reflect.DeepEqual(v, v2) {
+			t.Fatalf("Decode(%q) not self-delimiting: prefix gave (%+v,%d,%v), full gave (%+v,%d)",
+				data, v2, n2, err2, v, n)
+		}
+	})
+}
+
+// FuzzRESPRoundTrip drives the encoder with fuzz-derived content and
+// checks decode(encode(x)) == x for commands (arrays of bulks), integers,
+// and simple strings.
+func FuzzRESPRoundTrip(f *testing.F) {
+	for _, s := range respSeeds {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte("SET\xffkey\xffvalue"))
+	f.Add(bytes.Repeat([]byte{0xff}, 9))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Command: the input split on 0xff becomes the argument vector.
+		args := bytes.Split(data, []byte{0xff})
+		if len(args) > 32 {
+			args = args[:32]
+		}
+		enc := AppendCommand(nil, args...)
+		v, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("command round-trip: Decode(%q) = (_, %d, %v), want full %d bytes", enc, n, err, len(enc))
+		}
+		if v.Kind != respArray || len(v.Array) != len(args) {
+			t.Fatalf("command round-trip: got kind %q with %d elements, want array of %d", v.Kind, len(v.Array), len(args))
+		}
+		for i, a := range args {
+			got := v.Array[i].Bulk
+			if got == nil {
+				got = []byte{}
+			}
+			if !bytes.Equal(got, a) {
+				t.Fatalf("command round-trip: arg %d = %q, want %q", i, got, a)
+			}
+		}
+
+		// Integer: the first 8 bytes (zero-padded) as an int64.
+		var pad [8]byte
+		copy(pad[:], data)
+		want := int64(binary.LittleEndian.Uint64(pad[:]))
+		v, n, err = Decode(AppendInt(nil, want))
+		if err != nil || v.Kind != respInt || v.Int != want {
+			t.Fatalf("int round-trip: %d gave (%+v, %d, %v)", want, v, n, err)
+		}
+
+		// Simple string: CR/LF cannot appear inside the unescaped frame.
+		s := strings.NewReplacer("\r", "", "\n", "").Replace(string(data))
+		v, _, err = Decode(AppendSimple(nil, s))
+		if err != nil || v.Kind != respSimple || v.Str != s {
+			t.Fatalf("simple round-trip: %q gave (%+v, %v)", s, v, err)
+		}
+	})
+}

@@ -107,7 +107,10 @@ func Decode(b []byte) (Value, int, error) {
 		if ln < 0 {
 			return Value{Kind: respBulk, Bulk: nil}, consumed, nil
 		}
-		if len(b) < consumed+ln+2 {
+		// Compare against the remaining bytes, not consumed+ln+2: an
+		// attacker-supplied length near MaxInt would overflow the sum and
+		// slip past the bound straight into a huge allocation.
+		if ln > len(b)-consumed-2 {
 			return Value{}, 0, fmt.Errorf("%w: truncated bulk", ErrProtocol)
 		}
 		bulk := make([]byte, ln)
@@ -120,6 +123,11 @@ func Decode(b []byte) (Value, int, error) {
 		count, err := strconv.Atoi(string(line))
 		if err != nil || count < 0 {
 			return Value{}, 0, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
+		}
+		// The smallest element ("+\r\n") is 3 bytes, so a count the input
+		// cannot possibly back is rejected before allocating for it.
+		if count > (len(b)-consumed)/3 {
+			return Value{}, 0, fmt.Errorf("%w: truncated array", ErrProtocol)
 		}
 		arr := make([]Value, 0, count)
 		off := consumed

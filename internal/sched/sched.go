@@ -258,6 +258,31 @@ func (s *Scheduler) Stop() {
 	s.wg.Wait()
 }
 
+// RebootNode spawns a fresh worker pool and keeper for node id after a
+// fabric.Node Restart. The node rejoins the rack under its original ID:
+// its new keeper resumes advancing the same heartbeat word, and any task
+// the pre-crash incarnation still thinks it owns was fenced by the
+// attempt bump when its lease was reclaimed, so a stale completion CAS
+// cannot resurrect it. Call only after the node has been restarted and
+// only while the scheduler is running.
+func (s *Scheduler) RebootNode(id int) {
+	if !s.started.Load() {
+		return
+	}
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	for w := 0; w < s.cfg.WorkersPerNode; w++ {
+		s.wg.Add(1)
+		go s.worker(id)
+	}
+	s.wg.Add(1)
+	go s.keeper(id)
+	s.wake(id)
+}
+
 // wake nudges node id's workers (the software stand-in for an IPI /
 // mwait wakeup on a global doorbell word — see internal/irq).
 func (s *Scheduler) wake(id int) {

@@ -82,7 +82,14 @@ func (s *Scheduler) popInbox(n *fabric.Node, id int) (uint64, bool) {
 	if !ok || ln != 8 {
 		return 0, false
 	}
-	return binary.LittleEndian.Uint64(buf[:]), true
+	slot := binary.LittleEndian.Uint64(buf[:])
+	if slot >= s.cfg.TableCap {
+		// The ring payload travels through the cache, so a fault sweep can
+		// hand us garbage. Announcements are only hints; drop it and let
+		// the table scan find the real task.
+		return 0, false
+	}
+	return slot, true
 }
 
 // scanAndRun walks the task table looking for Queued work: first a task

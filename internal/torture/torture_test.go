@@ -1,0 +1,96 @@
+package torture
+
+import (
+	"fmt"
+	"testing"
+)
+
+// smokeConfig keeps the tier-1 sweep fast while still driving every fault
+// window class.
+func smokeConfig(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Nodes:        3,
+		OpsPerClient: 120,
+		Events:       4,
+	}
+}
+
+// TestTortureSmoke is the tier-1 sweep: every workload/checker pair, a
+// couple of seeds, all tolerated fault classes enabled. Any violation is a
+// real invariant break (or a checker bug) and fails the build.
+func TestTortureSmoke(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, seed := range []int64{1, 7} {
+			w, seed := w, seed
+			t.Run(fmt.Sprintf("%s/seed%d", w.Name(), seed), func(t *testing.T) {
+				t.Parallel()
+				rep := Run(w, smokeConfig(seed))
+				if !rep.Passed() {
+					t.Fatalf("invariants violated:\n%s", rep)
+				}
+				if len(rep.Events) == 0 {
+					t.Fatalf("schedule was empty: the sweep tested nothing (faults=%s)", rep.Faults)
+				}
+			})
+		}
+	}
+}
+
+// TestTortureDeterminism: same seed, same schedule — identical event
+// traces and verdicts across runs (the replay contract behind
+// `flacbench -experiment torture -seed N`).
+func TestTortureDeterminism(t *testing.T) {
+	for _, name := range []string{"ds", "sched"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := smokeConfig(42)
+			r1 := Run(ByName(name), cfg)
+			r2 := Run(ByName(name), cfg)
+			if len(r1.Events) != len(r2.Events) {
+				t.Fatalf("event counts differ: %d vs %d", len(r1.Events), len(r2.Events))
+			}
+			for i := range r1.Events {
+				if r1.Events[i] != r2.Events[i] {
+					t.Fatalf("event %d differs: %v vs %v", i, r1.Events[i], r2.Events[i])
+				}
+			}
+			if r1.Verdict() != r2.Verdict() {
+				t.Fatalf("verdicts differ: %s vs %s", r1.Verdict(), r2.Verdict())
+			}
+		})
+	}
+}
+
+// requireCaught runs the workload with a deliberately broken sync path and
+// demands that some seed produces violations — proving the checkers catch
+// the bug class they exist for.
+func requireCaught(t *testing.T, workload, breakName string) {
+	t.Helper()
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := smokeConfig(seed)
+		cfg.OpsPerClient = 250 // more laps/merges: give the break time to bite
+		cfg.Break = breakName
+		rep := Run(ByName(workload), cfg)
+		if !rep.Passed() {
+			t.Logf("seed %d caught it:\n%s", seed, rep)
+			return
+		}
+	}
+	t.Fatalf("break %q was never caught by the %s checkers", breakName, workload)
+}
+
+// TestTortureCatchesRingInvalidateBreak: a consumer that skips its
+// pop-side invalidate reads stale cached slots on the second lap; the
+// FIFO/payload checker must flag it.
+func TestTortureCatchesRingInvalidateBreak(t *testing.T) {
+	requireCaught(t, "ds", "ring-invalidate")
+}
+
+// TestTortureCatchesShootdownBreak: a remap whose TLB shootdown is
+// dropped leaves readers translating through stale entries to old frames;
+// the version-floor checker must flag it.
+func TestTortureCatchesShootdownBreak(t *testing.T) {
+	requireCaught(t, "memsys", "shootdown")
+}

@@ -1,0 +1,124 @@
+package torture
+
+import (
+	"time"
+
+	"flacos/internal/fabric"
+	"flacos/internal/sched"
+)
+
+// schedWorkload storms the rack-wide scheduler with tasks preferred onto
+// every node — including crash victims — while the fault driver kills and
+// restarts nodes under it.
+//
+// Invariants:
+//   - exactly-once completion: each task's DoneCell is incremented by the
+//     scheduler exactly once, even when a lease reclaim re-dispatches a
+//     task whose first runner died mid-flight (the attempt bump must fence
+//     the stale runner's completion CAS);
+//   - no lost tasks: Completed == Submitted and Queued == 0 after Drain;
+//   - at-least-once execution: every task's side-effect counter is >= 1.
+//
+// Submitters live on node 0, which the schedule never crashes, so the
+// submission history itself is reliable ground truth. This workload
+// tolerates every fault class: all scheduler control words are fabric
+// atomics, and the cached announcement-ring payload is only a hint.
+type schedWorkload struct {
+	s        *sched.Scheduler
+	fn       sched.FuncID
+	doneBase fabric.GPtr
+	execBase fabric.GPtr
+	tasks    int
+}
+
+const schedSubmitters = 2
+
+func newSchedWorkload() *schedWorkload { return &schedWorkload{} }
+
+func (w *schedWorkload) Name() string { return "sched" }
+
+func (w *schedWorkload) Tolerates() FaultClass { return FaultAll }
+
+func (w *schedWorkload) Prepare(env *Env) {
+	f := env.Fab
+	w.tasks = schedSubmitters * env.Cfg.OpsPerClient
+	w.doneBase = f.Reserve(uint64(w.tasks)*8, fabric.LineSize)
+	w.execBase = f.Reserve(uint64(w.tasks)*8, fabric.LineSize)
+	w.s = sched.New(f, sched.Config{
+		TableCap:    128,
+		Policy:      sched.PolicyLocality,
+		ProbeRounds: 3,
+		ReclaimTick: 200 * time.Microsecond,
+		IdleTick:    200 * time.Microsecond,
+		StealGrace:  500 * time.Microsecond,
+		HistCap:     1024,
+	})
+	w.fn = w.s.Register(func(n *fabric.Node, arg0, arg1 uint64) {
+		n.Add64(w.execBase+fabric.GPtr(arg1*8), 1)
+		// Linger off-fabric so a crash can land mid-task, then touch the
+		// fabric so runners on a crashed node actually die.
+		time.Sleep(20 * time.Microsecond)
+		n.Load64(w.doneBase + fabric.GPtr(arg1*8))
+	})
+	w.s.Start()
+}
+
+// HandleRestart rejoins a restarted node's worker pool and keeper under
+// its original node ID.
+func (w *schedWorkload) HandleRestart(env *Env, node int) {
+	w.s.RebootNode(node)
+}
+
+func (w *schedWorkload) Clients(env *Env) []func() {
+	out := make([]func(), schedSubmitters)
+	for i := 0; i < schedSubmitters; i++ {
+		sub := i
+		out[sub] = func() { w.submitter(env, sub) }
+	}
+	return out
+}
+
+func (w *schedWorkload) submitter(env *Env, sub int) {
+	n0 := env.Fab.Node(0)
+	rng := env.Rand(uint64(0x30 + sub))
+	handles := make([]sched.Handle, 0, env.Cfg.OpsPerClient)
+	for t := 0; t < env.Cfg.OpsPerClient; t++ {
+		idx := sub*env.Cfg.OpsPerClient + t
+		h := w.s.Submit(n0, sched.Task{
+			Fn:        w.fn,
+			Arg1:      uint64(idx),
+			Preferred: rng.Intn(env.Cfg.Nodes),
+			DoneCell:  w.doneBase + fabric.GPtr(idx*8),
+		})
+		handles = append(handles, h)
+		env.OpDone()
+	}
+	for _, h := range handles {
+		w.s.Wait(n0, h)
+	}
+}
+
+func (w *schedWorkload) Check(env *Env) {
+	n0 := env.Fab.Node(0)
+	defer w.s.Stop()
+	if !w.s.Drain(n0) {
+		env.Violatef(-1, "scheduler stopped before draining")
+		return
+	}
+	st := w.s.StatsFrom(n0)
+	if st.Submitted != uint64(w.tasks) || st.Completed != uint64(w.tasks) {
+		env.Violatef(-1, "lost tasks: submitted=%d completed=%d want %d", st.Submitted, st.Completed, w.tasks)
+	}
+	if st.Queued != 0 {
+		env.Violatef(-1, "stranded tasks: queued=%d after drain", st.Queued)
+	}
+	for idx := 0; idx < w.tasks; idx++ {
+		done := n0.AtomicLoad64(w.doneBase + fabric.GPtr(idx*8))
+		if done != 1 {
+			env.Violatef(-1, "task %d: DoneCell=%d, want exactly 1", idx, done)
+		}
+		if exec := n0.AtomicLoad64(w.execBase + fabric.GPtr(idx*8)); exec == 0 {
+			env.Violatef(-1, "task %d: never executed", idx)
+		}
+	}
+}
