@@ -13,6 +13,7 @@
 //	flacbench -experiment dedup        # ablation E: page dedup
 //	flacbench -experiment density      # ablation F: density-aware routing
 //	flacbench -experiment sched        # ablation G: coordinated scheduling
+//	flacbench -experiment trace        # flight-recorder overhead budget
 //	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
 //	flacbench -experiment torture -seed 42            # replay one failing seed
 //	flacbench -experiment torture -torture-break ring-invalidate  # checker self-test
@@ -32,10 +33,11 @@ import (
 	"time"
 
 	"flacos/internal/experiments"
+	"flacos/internal/torture"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|torture|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|trace|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
@@ -106,7 +108,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "torture"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "trace", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -118,7 +120,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok || *exp == "torture" {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -134,6 +136,19 @@ func main() {
 			var failed bool
 			res, failed = runTorture(*quick, *seed, *tortureBreak, *tortureWorkload)
 			if failed {
+				exitCode = 1
+			}
+		} else if name == "trace" {
+			cfg := experiments.DefaultTrace()
+			if *quick {
+				cfg.EmitEvents = 20_000
+				cfg.Tasks = 150
+				cfg.FSOps = 80
+			}
+			var failed bool
+			res, failed = experiments.Trace(cfg)
+			if failed {
+				fmt.Fprintln(os.Stderr, "flacbench: trace experiment exceeded its overhead budget or dropped events")
 				exitCode = 1
 			}
 		} else {
@@ -172,6 +187,9 @@ func runTorture(quick bool, seed int64, brk, workload string) (*experiments.Resu
 			return res, true
 		}
 		fmt.Printf("broken path %q caught by %d sweep(s), as required\n", brk, len(failures))
+		// Still dump the flight-recorder extracts: a planted-bug run is a
+		// cheap way to eyeball what the recorder captures around a failure.
+		writeTraceArtifacts(failures)
 		return res, false
 	}
 	if len(failures) > 0 {
@@ -185,10 +203,38 @@ func runTorture(quick bool, seed int64, brk, workload string) (*experiments.Resu
 		} else {
 			fmt.Fprintf(os.Stderr, "flacbench: %d torture sweep(s) failed (could not write report file: %v)\n", len(failures), err)
 		}
+		writeTraceArtifacts(failures)
 		for _, rep := range failures {
 			fmt.Fprint(os.Stderr, rep.String())
 		}
 		return res, true
 	}
 	return res, false
+}
+
+// writeTraceArtifacts dumps each failing sweep's merged flight-recorder
+// extract next to torture-failures.txt: the human timeline as
+// torture-trace-<workload>-seed<N>.txt and the Chrome trace_event JSON
+// (chrome://tracing, ui.perfetto.dev) as the matching .json.
+func writeTraceArtifacts(failures []*torture.Report) {
+	for _, rep := range failures {
+		if rep.TraceTimeline == "" && rep.TraceJSON == nil {
+			continue
+		}
+		base := fmt.Sprintf("torture-trace-%s-seed%d", rep.Workload, rep.Seed)
+		if rep.TraceTimeline != "" {
+			if err := os.WriteFile(base+".txt", []byte(rep.TraceTimeline), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "flacbench: could not write %s.txt: %v\n", base, err)
+				continue
+			}
+		}
+		if rep.TraceJSON != nil {
+			if err := os.WriteFile(base+".json", rep.TraceJSON, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "flacbench: could not write %s.json: %v\n", base, err)
+				continue
+			}
+		}
+		fmt.Fprintf(os.Stderr, "flacbench: rack trace for %s seed %d written to %s.{txt,json}\n",
+			rep.Workload, rep.Seed, base)
+	}
 }

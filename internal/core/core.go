@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"flacos/internal/boot"
 	"flacos/internal/devshare"
@@ -30,6 +31,7 @@ import (
 	"flacos/internal/memsys"
 	"flacos/internal/sched"
 	"flacos/internal/serverless"
+	"flacos/internal/trace"
 )
 
 // Config sizes the rack and the OS's shared structures. Zero values get
@@ -119,8 +121,12 @@ type Rack struct {
 	instances []*OS
 	nextSpace uint64
 
-	schedOnce sync.Once
-	sched     *sched.Scheduler
+	schedOnce   sync.Once
+	sched       *sched.Scheduler
+	schedBooted atomic.Bool
+
+	traceMu sync.Mutex
+	tracer  *trace.Recorder
 }
 
 // Scheduler returns the rack-wide coordinated task scheduler, booting it
@@ -131,8 +137,43 @@ func (r *Rack) Scheduler() *sched.Scheduler {
 	r.schedOnce.Do(func() {
 		r.sched = sched.New(r.Fabric, sched.DefaultConfig())
 		r.sched.Start()
+		// Handshake with EnableTrace: publish the booted scheduler first,
+		// then check for a recorder. Whichever of the two calls runs its
+		// check second sees the other's store, so at least one attaches
+		// (SetTrace is idempotent, a double attach is harmless).
+		r.schedBooted.Store(true)
+		if t := r.Trace(); t != nil {
+			r.sched.SetTrace(t)
+		}
 	})
 	return r.sched
+}
+
+// EnableTrace boots the rack-wide flight recorder (internal/trace) and
+// attaches every booted subsystem's hot-path hooks: fabric miss/write-back/
+// fence events when cfg.FabricEvents is set, scheduler dispatch/steal/
+// lease-expiry/complete, fs journal commits and page-cache evictions.
+// Spaces and serverless control planes created after this call attach
+// automatically. Idempotent: later calls return the first recorder.
+func (r *Rack) EnableTrace(cfg trace.Config) *trace.Recorder {
+	r.traceMu.Lock()
+	if r.tracer == nil {
+		r.tracer = trace.New(r.Fabric, cfg)
+		r.FS.SetTrace(r.tracer)
+	}
+	rec := r.tracer
+	r.traceMu.Unlock()
+	if r.schedBooted.Load() {
+		r.sched.SetTrace(rec)
+	}
+	return rec
+}
+
+// Trace returns the rack's flight recorder, or nil before EnableTrace.
+func (r *Rack) Trace() *trace.Recorder {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	return r.tracer
 }
 
 // Shutdown stops the rack's background machinery (scheduler workers and
@@ -227,11 +268,16 @@ func (r *Rack) OS(i int) *OS {
 	return r.instances[i]
 }
 
-// NewSpace creates a rack-wide shared address space.
+// NewSpace creates a rack-wide shared address space (traced when the
+// rack's flight recorder is enabled).
 func (r *Rack) NewSpace() *memsys.Space {
 	r.nextSpace++
-	return memsys.NewSpace(r.Fabric, r.nextSpace, r.Frames,
+	s := memsys.NewSpace(r.Fabric, r.nextSpace, r.Frames,
 		r.Arena.NodeAllocator(r.Fabric.Node(0), 0), 1024)
+	if t := r.Trace(); t != nil {
+		s.SetTrace(t)
+	}
+	return s
 }
 
 // Allocator returns the instance's kernel-object allocator. It is bound to
@@ -263,5 +309,8 @@ func (r *Rack) Serverless(reg *serverless.Registry, rtCfg serverless.RuntimeConf
 	// global load board sees work the control plane's own density count
 	// doesn't, and it skips crashed nodes.
 	ctl.SetPlacer(r.Scheduler().PickNode)
+	if t := r.Trace(); t != nil {
+		ctl.SetTrace(t)
+	}
 	return ctl
 }

@@ -128,6 +128,24 @@ func TestDensityAblationShape(t *testing.T) {
 	}
 }
 
+func TestTraceShape(t *testing.T) {
+	cfg := DefaultTrace()
+	cfg.EmitEvents = 20_000 // CI-sized; the per-event cost is deterministic anyway
+	cfg.Tasks = 150
+	cfg.FSOps = 80
+	res, failed := Trace(cfg)
+	if failed {
+		t.Fatalf("trace experiment failed its acceptance bounds:\n%s", res)
+	}
+	r := res.Ratios["traced/untraced dispatch cost"]
+	if r <= 1.0 {
+		t.Errorf("traced/untraced = %.3fx: tracing cannot be free", r)
+	}
+	if r > 1+traceOverheadBudgetPct/100 {
+		t.Errorf("traced/untraced = %.3fx exceeds the %.0f%% budget", r, traceOverheadBudgetPct)
+	}
+}
+
 func TestSchedAblationShape(t *testing.T) {
 	// The placement phase needs its full task count: the p99 gap is a
 	// queueing effect, so an undersized run never saturates the workers

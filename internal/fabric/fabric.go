@@ -161,17 +161,25 @@ func (f *Fabric) fetchLineHome(li uint64, dst *[LineSize]byte) {
 }
 
 // writeLineHome copies src into home memory at line index li, applying any
-// write-path fault injection.
-func (f *Fabric) writeLineHome(li uint64, src *[LineSize]byte) {
+// write-path fault injection, and returns how many injector hits the line
+// took (1 for a dropped line, 1 per corrupted word) so the node can
+// account them. Words land in ascending order; this is load-bearing for
+// internal/trace, which publishes a record's sequence word as the LAST
+// word of its line and relies on payload words reaching home first.
+func (f *Fabric) writeLineHome(li uint64, src *[LineSize]byte) (faults uint64) {
 	if f.faults.dropWriteBack() {
-		return // the line silently never reaches home memory
+		return 1 // the line silently never reaches home memory
 	}
 	base := li * LineSize / WordSize
 	for w := uint64(0); w < LineSize/WordSize; w++ {
 		v := binary.LittleEndian.Uint64(src[w*WordSize:])
-		v = f.faults.corruptOnWrite(v)
+		if cv := f.faults.corruptOnWrite(v); cv != v {
+			v = cv
+			faults++
+		}
 		f.homeStoreWord(base+w, v)
 	}
+	return faults
 }
 
 // ReadAtHome copies home-memory contents into buf, bypassing every cache.

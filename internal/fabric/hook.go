@@ -1,0 +1,52 @@
+package fabric
+
+// OpKind classifies the cache-path operations observable through a node's
+// op hook — the events a bus analyzer on the node's fabric port would see.
+type OpKind uint8
+
+const (
+	// OpMiss: a load or store missed the node cache and fetched a line
+	// from home memory.
+	OpMiss OpKind = iota
+	// OpWriteBack: a dirty line left the node for home memory (explicit
+	// write-back or capacity eviction).
+	OpWriteBack
+	// OpFence: the node executed a memory barrier.
+	OpFence
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMiss:
+		return "miss"
+	case OpWriteBack:
+		return "write-back"
+	case OpFence:
+		return "fence"
+	}
+	return "op(?)"
+}
+
+// OpHook observes one cache-path operation. arg is the global line index
+// for OpMiss/OpWriteBack and zero for OpFence. Hooks run inline on the
+// node's memory path, outside the cache lock, and may themselves perform
+// fabric operations — but anything that can recurse (like a trace
+// recorder whose emit path writes back lines) must guard itself, e.g.
+// with a suppression counter, or it will re-enter forever.
+type OpHook func(kind OpKind, arg uint64)
+
+// SetOpHook installs h as the node's op hook; nil removes it. Safe to
+// call while the node is running operations.
+func (n *Node) SetOpHook(h OpHook) {
+	if h == nil {
+		n.opHook.Store(nil)
+		return
+	}
+	n.opHook.Store(&h)
+}
+
+func (n *Node) fireOp(k OpKind, arg uint64) {
+	if p := n.opHook.Load(); p != nil {
+		(*p)(k, arg)
+	}
+}

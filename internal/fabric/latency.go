@@ -122,6 +122,7 @@ func (n *Node) charge(ns int) {
 	}
 	n.stats.VirtualNS.Add(uint64(ns))
 	if n.fab.lat.Mode == LatencySpin {
+		n.stats.Stalls.Add(1)
 		spinWait(int64(ns))
 	}
 }

@@ -18,6 +18,7 @@ type Node struct {
 	cache   *cache
 	crashed atomic.Bool
 	stats   NodeStats
+	opHook  atomic.Pointer[OpHook]
 }
 
 // ID returns the node's index within the rack.
@@ -121,8 +122,11 @@ func (n *Node) withLine(g GPtr, size uint64, write bool, fn func(data *[LineSize
 	fn(&ln.data, off)
 	c.mu.Unlock()
 	if victim != nil {
-		n.fab.writeLineHome(victimIdx, &victim.data)
+		if fl := n.fab.writeLineHome(victimIdx, &victim.data); fl > 0 {
+			n.stats.FaultsInjected.Add(fl)
+		}
 		n.stats.WriteBacks.Add(1)
+		n.fireOp(OpWriteBack, victimIdx)
 	}
 	if write {
 		n.stats.Stores.Add(1)
@@ -132,6 +136,7 @@ func (n *Node) withLine(g GPtr, size uint64, write bool, fn func(data *[LineSize
 	if miss {
 		n.stats.Misses.Add(1)
 		n.charge(n.globalCost(1))
+		n.fireOp(OpMiss, li)
 	} else {
 		n.stats.Hits.Add(1)
 		n.charge(n.fab.lat.LocalNS)
@@ -311,6 +316,7 @@ func (n *Node) Fence() {
 	n.checkAlive()
 	n.stats.Fences.Add(1)
 	n.charge(n.fab.lat.FenceNS)
+	n.fireOp(OpFence, 0)
 }
 
 // --- Cache maintenance ---
@@ -337,8 +343,11 @@ func (n *Node) WriteBackRange(g GPtr, size uint64) {
 		}
 		c.mu.Unlock()
 		if doWB {
-			n.fab.writeLineHome(li, &cp)
+			if fl := n.fab.writeLineHome(li, &cp); fl > 0 {
+				n.stats.FaultsInjected.Add(fl)
+			}
 			n.stats.WriteBacks.Add(1)
+			n.fireOp(OpWriteBack, li)
 			written++
 		}
 	}
@@ -396,8 +405,11 @@ func (n *Node) WriteBackAll() {
 	}
 	c.mu.Unlock()
 	for i := range dirty {
-		n.fab.writeLineHome(dirty[i].li, &dirty[i].data)
+		if fl := n.fab.writeLineHome(dirty[i].li, &dirty[i].data); fl > 0 {
+			n.stats.FaultsInjected.Add(fl)
+		}
 		n.stats.WriteBacks.Add(1)
+		n.fireOp(OpWriteBack, dirty[i].li)
 	}
 	if len(dirty) > 0 {
 		n.charge(n.globalCost(len(dirty)))

@@ -16,6 +16,14 @@ type NodeStats struct {
 	BulkBytesRead    atomic.Uint64
 	BulkBytesWritten atomic.Uint64
 	VirtualNS        atomic.Uint64
+	// Stalls counts charges the node actually waited out: in LatencySpin
+	// mode every nonzero charge busy-waits and bumps this counter. In the
+	// other modes it stays zero (nothing stalls).
+	Stalls atomic.Uint64
+	// FaultsInjected counts injector hits this node observed on its
+	// write-back path: dropped lines count one each, plus one per
+	// corrupted word.
+	FaultsInjected atomic.Uint64
 }
 
 // NodeStatsSnapshot is a point-in-time copy of NodeStats.
@@ -31,6 +39,29 @@ type NodeStatsSnapshot struct {
 	BulkBytesRead    uint64
 	BulkBytesWritten uint64
 	VirtualNS        uint64
+	Stalls           uint64
+	FaultsInjected   uint64
+}
+
+// Delta returns the traffic accrued since prev was taken: s - prev,
+// field-wise. Experiments snapshot before and after a phase and report
+// the delta instead of process-lifetime totals.
+func (s NodeStatsSnapshot) Delta(prev NodeStatsSnapshot) NodeStatsSnapshot {
+	return NodeStatsSnapshot{
+		Loads:            s.Loads - prev.Loads,
+		Stores:           s.Stores - prev.Stores,
+		Hits:             s.Hits - prev.Hits,
+		Misses:           s.Misses - prev.Misses,
+		WriteBacks:       s.WriteBacks - prev.WriteBacks,
+		Invalidates:      s.Invalidates - prev.Invalidates,
+		Atomics:          s.Atomics - prev.Atomics,
+		Fences:           s.Fences - prev.Fences,
+		BulkBytesRead:    s.BulkBytesRead - prev.BulkBytesRead,
+		BulkBytesWritten: s.BulkBytesWritten - prev.BulkBytesWritten,
+		VirtualNS:        s.VirtualNS - prev.VirtualNS,
+		Stalls:           s.Stalls - prev.Stalls,
+		FaultsInjected:   s.FaultsInjected - prev.FaultsInjected,
+	}
 }
 
 func (s *NodeStats) snapshot() NodeStatsSnapshot {
@@ -46,6 +77,8 @@ func (s *NodeStats) snapshot() NodeStatsSnapshot {
 		BulkBytesRead:    s.BulkBytesRead.Load(),
 		BulkBytesWritten: s.BulkBytesWritten.Load(),
 		VirtualNS:        s.VirtualNS.Load(),
+		Stalls:           s.Stalls.Load(),
+		FaultsInjected:   s.FaultsInjected.Load(),
 	}
 }
 
@@ -61,6 +94,8 @@ func (s *NodeStats) reset() {
 	s.BulkBytesRead.Store(0)
 	s.BulkBytesWritten.Store(0)
 	s.VirtualNS.Store(0)
+	s.Stalls.Store(0)
+	s.FaultsInjected.Store(0)
 }
 
 // RackStats aggregates every node's counters.
@@ -79,6 +114,8 @@ func (f *Fabric) RackStats() NodeStatsSnapshot {
 		agg.BulkBytesRead += s.BulkBytesRead
 		agg.BulkBytesWritten += s.BulkBytesWritten
 		agg.VirtualNS += s.VirtualNS
+		agg.Stalls += s.Stalls
+		agg.FaultsInjected += s.FaultsInjected
 	}
 	return agg
 }

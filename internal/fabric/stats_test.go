@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func statsFabric(lat LatencyModel) *Fabric {
+	return New(Config{GlobalSize: 1 << 20, Nodes: 2, CacheCapacityLines: -1, Latency: lat})
+}
+
+func TestStatsDelta(t *testing.T) {
+	f := statsFabric(DefaultLatency())
+	n := f.Node(0)
+	g := f.Reserve(4*LineSize, LineSize)
+
+	before := n.Stats()
+	n.Load64(g)                 // miss
+	n.Load64(g)                 // hit
+	n.Store64(g.Add(8), 7)      // hit (line cached)
+	n.Add64(g.Add(LineSize), 1) // atomic
+	n.Fence()
+	after := n.Stats()
+
+	d := after.Delta(before)
+	if d.Loads != 2 || d.Stores != 1 || d.Atomics != 1 || d.Fences != 1 {
+		t.Errorf("delta loads=%d stores=%d atomics=%d fences=%d, want 2/1/1/1",
+			d.Loads, d.Stores, d.Atomics, d.Fences)
+	}
+	if d.Misses != 1 || d.Hits != 2 {
+		t.Errorf("delta misses=%d hits=%d, want 1/2", d.Misses, d.Hits)
+	}
+	if d.VirtualNS == 0 {
+		t.Error("delta accrued no virtual time under an accounting model")
+	}
+	// A second delta against the later snapshot must be empty.
+	if z := after.Delta(after); z != (NodeStatsSnapshot{}) {
+		t.Errorf("self-delta not zero: %+v", z)
+	}
+}
+
+func TestStallsCountOnlyInSpinMode(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Mode = LatencySpin
+	lat.LocalNS, lat.GlobalNS, lat.HopNS, lat.AtomicNS = 1, 1, 0, 1 // don't waste wall time
+	f := statsFabric(lat)
+	n := f.Node(0)
+	g := f.Reserve(LineSize, LineSize)
+	n.Load64(g)
+	if s := n.Stats().Stalls; s == 0 {
+		t.Error("spin mode charged an access but counted no stalls")
+	}
+
+	fa := statsFabric(DefaultLatency()) // accounting only
+	na := fa.Node(0)
+	na.Load64(fa.Reserve(LineSize, LineSize))
+	if s := na.Stats().Stalls; s != 0 {
+		t.Errorf("accounting mode counted %d stalls, want 0 (nothing waits)", s)
+	}
+}
+
+func TestFaultsInjectedCountsDroppedWriteBacks(t *testing.T) {
+	f := statsFabric(LatencyModel{})
+	n := f.Node(0)
+	g := f.Reserve(LineSize, LineSize)
+	f.Faults().SetDropWriteBackRate(1_000_000) // drop everything
+	n.Store64(g, 42)
+	n.WriteBackRange(g, LineSize)
+	f.Faults().SetDropWriteBackRate(0)
+	if got := n.Stats().FaultsInjected; got != 1 {
+		t.Errorf("FaultsInjected=%d after one dropped write-back, want 1", got)
+	}
+}
+
+func TestOpHookFiresOnMissWriteBackFence(t *testing.T) {
+	f := statsFabric(LatencyModel{})
+	n := f.Node(0)
+	g := f.Reserve(2*LineSize, LineSize)
+
+	var miss, wb, fence atomic.Uint64
+	n.SetOpHook(func(k OpKind, arg uint64) {
+		switch k {
+		case OpMiss:
+			miss.Add(1)
+		case OpWriteBack:
+			wb.Add(1)
+		case OpFence:
+			fence.Add(1)
+		}
+	})
+	n.Load64(g) // miss
+	n.Load64(g) // hit: no event
+	n.Store64(g, 1)
+	n.WriteBackRange(g, LineSize)
+	n.Fence()
+	n.Add64(g.Add(LineSize), 1) // atomics bypass the cache: no events
+	if miss.Load() != 1 || wb.Load() != 1 || fence.Load() != 1 {
+		t.Errorf("hook counts miss=%d wb=%d fence=%d, want 1/1/1", miss.Load(), wb.Load(), fence.Load())
+	}
+
+	n.SetOpHook(nil)
+	n.Load64(g.Add(LineSize)) // miss with hook removed
+	if miss.Load() != 1 {
+		t.Error("hook fired after removal")
+	}
+}

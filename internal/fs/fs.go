@@ -12,6 +12,7 @@ import (
 	"flacos/internal/flacdk/quiescence"
 	"flacos/internal/flacdk/replication"
 	"flacos/internal/memsys"
+	"flacos/internal/trace"
 )
 
 // Config sizes the file system's shared structures.
@@ -46,6 +47,8 @@ type FS struct {
 	mu         sync.Mutex
 	nextPartID int
 	maxMounts  int
+
+	trw []atomic.Pointer[trace.Writer] // per-node flight-recorder hooks
 }
 
 // New creates a file system over dev, with its shared structures laid out
@@ -75,6 +78,7 @@ func New(f *fabric.Fabric, dev BlockDev, cfg Config) *FS {
 		metaLog:   replication.NewLog(f, cfg.MetaLogCap),
 		idCtrG:    f.Reserve(fabric.LineSize, fabric.LineSize),
 		maxMounts: cfg.MaxMounts,
+		trw:       make([]atomic.Pointer[trace.Writer], f.NumNodes()),
 	}
 }
 
@@ -237,6 +241,7 @@ func (m *Mount) Create(name string) (uint64, error) {
 	if m.metaRep.Execute(metaOpCreate, payload) == 0 {
 		return 0, fmt.Errorf("fs: create %q: file exists", name)
 	}
+	m.fs.emit(m.node, trace.KJournalCommit, id, metaOpCreate)
 	m.fs.sizes.PutIfAbsent(m.node, id, 0)
 	return id, nil
 }
@@ -260,6 +265,7 @@ func (m *Mount) Unlink(name string) error {
 	if id == 0 {
 		return fmt.Errorf("fs: unlink %q: no such file", name)
 	}
+	m.fs.emit(m.node, trace.KJournalCommit, id, metaOpUnlink)
 	// Collect and drop the file's cached pages.
 	var keys []uint64
 	m.fs.index.Range(m.node, func(k, v uint64) bool {
@@ -272,6 +278,7 @@ func (m *Mount) Unlink(name string) error {
 		if fk, ok := m.fs.index.Delete(m.node, k); ok {
 			phys := fk << memsys.PageShift
 			m.part.Retire(func() { m.fs.frames.Unref(m.node, phys) })
+			m.fs.emit(m.node, trace.KEvict, k, fk)
 		}
 		m.fs.dirty.Delete(m.node, k)
 	}
@@ -404,6 +411,7 @@ func (m *Mount) Write(id uint64, off uint64, data []byte) (int, error) {
 				if exists {
 					oldPhys := oldFK << memsys.PageShift
 					m.part.Retire(func() { m.fs.frames.Unref(n, oldPhys) })
+					m.fs.emit(n, trace.KEvict, key, oldFK)
 				}
 				m.fs.dirty.Put(n, key, newFrame>>memsys.PageShift)
 				break
@@ -533,6 +541,7 @@ func (m *Mount) DropCaches() int {
 		if fk, ok := m.fs.index.Delete(n, k); ok {
 			phys := fk << memsys.PageShift
 			m.part.Retire(func() { m.fs.frames.Unref(n, phys) })
+			m.fs.emit(n, trace.KEvict, k, fk)
 			dropped++
 		}
 		m.fs.dirty.Delete(n, k)

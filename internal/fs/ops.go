@@ -8,6 +8,7 @@ import (
 
 	"flacos/internal/flacdk/replication"
 	"flacos/internal/memsys"
+	"flacos/internal/trace"
 )
 
 // metaOpRename renames a file in the replicated namespace.
@@ -21,9 +22,11 @@ func (m *Mount) Rename(oldName, newName string) error {
 	binary.LittleEndian.PutUint32(payload, uint32(len(oldName)))
 	copy(payload[4:], oldName)
 	copy(payload[4+len(oldName):], newName)
-	if m.metaRep.Execute(metaOpRename, payload) == 0 {
+	id := m.metaRep.Execute(metaOpRename, payload)
+	if id == 0 {
 		return fmt.Errorf("fs: rename %q -> %q: no such file or destination exists", oldName, newName)
 	}
+	m.fs.emit(m.node, trace.KJournalCommit, id, metaOpRename)
 	return nil
 }
 

@@ -1,0 +1,22 @@
+package fs
+
+import (
+	"flacos/internal/fabric"
+	"flacos/internal/trace"
+)
+
+// SetTrace attaches the file system's journal-commit and page-cache
+// eviction paths to r's per-node writers; a nil recorder detaches.
+// Safe to call while mounts are active.
+func (fsys *FS) SetTrace(r *trace.Recorder) {
+	for i := range fsys.trw {
+		fsys.trw[i].Store(r.Writer(i))
+	}
+}
+
+// emit records one fs event on n's writer when tracing is attached.
+func (fsys *FS) emit(n *fabric.Node, kind trace.Kind, a0, a1 uint64) {
+	if tw := fsys.trw[n.ID()].Load(); tw != nil {
+		tw.Emit(trace.SubFS, kind, 0, a0, a1)
+	}
+}

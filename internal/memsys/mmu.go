@@ -9,6 +9,7 @@ import (
 	"flacos/internal/fabric"
 	"flacos/internal/flacdk/alloc"
 	"flacos/internal/flacdk/replication"
+	"flacos/internal/trace"
 )
 
 // MMUStats counts one MMU's translation activity.
@@ -313,6 +314,7 @@ func (m *MMU) migrateToGlobal(vpn uint64, old PTE) {
 	neu := MakeGlobalPTE(phys, old.Writable())
 	if m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(old), uint64(neu)) {
 		m.stats.Migrations.Add(1)
+		m.space.emit(m.node, trace.KMigrate, vpn, uint64(ownerID))
 		owner.local.Free(idx)
 		owner.tlb.invalidate(vpn)
 		m.space.shootdown(m, vpn)

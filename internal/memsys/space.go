@@ -11,6 +11,7 @@ import (
 	"flacos/internal/flacdk/alloc"
 	"flacos/internal/flacdk/ds"
 	"flacos/internal/flacdk/replication"
+	"flacos/internal/trace"
 )
 
 // brokenSkipShootdown suppresses remote TLB shootdowns — a deliberately
@@ -141,6 +142,8 @@ type Space struct {
 	mu     sync.Mutex
 	mmus   []*MMU
 	source PageSource
+
+	trw []atomic.Pointer[trace.Writer] // per-node flight-recorder hooks
 }
 
 // SetPageSource installs the file-page resolver for BackFile mappings.
@@ -166,6 +169,7 @@ func NewSpace(f *fabric.Fabric, id uint64, frames *GlobalFrames, pta *alloc.Node
 		pt:     ds.NewRadixTree(f, pta, 32), // 32-bit VPNs: 16 TiB of VA
 		frames: f2frames(frames),
 		vmaLog: replication.NewLog(f, vmaLogCap),
+		trw:    make([]atomic.Pointer[trace.Writer], f.NumNodes()),
 	}
 }
 
@@ -269,6 +273,7 @@ func (s *Space) shootdown(from *MMU, vpn uint64) {
 		from.node.ChargeNS(ipiCostNS)
 	}
 	from.stats.ShootdownsSent.Add(uint64(len(targets)))
+	s.emit(from.node, trace.KShootdown, vpn, uint64(len(targets)))
 }
 
 // ipiCostNS is the modeled cost of one cross-node interrupt.

@@ -1,0 +1,28 @@
+package memsys
+
+import (
+	"flacos/internal/fabric"
+	"flacos/internal/trace"
+)
+
+// SetTrace attaches the space's TLB-shootdown and page-migration paths
+// to r's per-node writers; a nil recorder detaches. Safe to call while
+// MMUs are faulting.
+func (s *Space) SetTrace(r *trace.Recorder) {
+	if s.trw == nil {
+		return
+	}
+	for i := range s.trw {
+		s.trw[i].Store(r.Writer(i))
+	}
+}
+
+// emit records one memsys event on n's writer when tracing is attached.
+func (s *Space) emit(n *fabric.Node, kind trace.Kind, a0, a1 uint64) {
+	if s.trw == nil {
+		return
+	}
+	if tw := s.trw[n.ID()].Load(); tw != nil {
+		tw.Emit(trace.SubMemsys, kind, 0, a0, a1)
+	}
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import "testing"
+
+func TestMergeExactWhenUncapped(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 5; i++ {
+		a.Record(float64(i))
+	}
+	for i := 6; i <= 10; i++ {
+		b.Record(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 10 {
+		t.Fatalf("count=%d want 10", a.Count())
+	}
+	if m := a.Mean(); m != 5.5 {
+		t.Errorf("mean=%v want 5.5", m)
+	}
+	if p := a.Percentile(50); p != 5 {
+		t.Errorf("p50=%v want 5 (exact, nearest-rank)", p)
+	}
+	if mx := a.Max(); mx != 10 {
+		t.Errorf("max=%v want 10", mx)
+	}
+	// b is read-only during the merge.
+	if b.Count() != 5 || b.Mean() != 8 {
+		t.Errorf("merge mutated other: count=%d mean=%v", b.Count(), b.Mean())
+	}
+}
+
+func TestMergeEmptyOtherIsNoop(t *testing.T) {
+	a := NewHistogram()
+	a.Record(3)
+	a.Merge(NewHistogram())
+	if a.Count() != 1 || a.Mean() != 3 {
+		t.Errorf("merge of empty histogram changed state: count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestMergeRespectsReservoirCap(t *testing.T) {
+	a := NewHistogram()
+	a.SetReservoir(100, 1)
+	b := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		a.Record(1)
+		b.Record(2)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("count=%d want 2000 (exact despite reservoir)", a.Count())
+	}
+	if m := a.Mean(); m != 1.5 {
+		t.Errorf("mean=%v want exactly 1.5", m)
+	}
+	a.mu.Lock()
+	retained := len(a.samples)
+	a.mu.Unlock()
+	if retained > 100 {
+		t.Errorf("retained %d samples, cap is 100", retained)
+	}
+	// Equal-weight sources: the estimate should see both values.
+	if p := a.Percentile(10); p != 1 {
+		t.Errorf("p10=%v want 1", p)
+	}
+	if p := a.Percentile(90); p != 2 {
+		t.Errorf("p90=%v want 2", p)
+	}
+}
+
+func TestMergeWeightsSourcesByTotal(t *testing.T) {
+	// A 10k-sample node must not be drowned out by a 50-sample node just
+	// because the reservoir retains similar slot counts from each.
+	a := NewHistogram()
+	a.SetReservoir(50, 7)
+	for i := 0; i < 10_000; i++ {
+		a.Record(1) // each retained slot stands in for ~200 originals
+	}
+	b := NewHistogram()
+	for i := 0; i < 50; i++ {
+		b.Record(2) // weight 1 each
+	}
+	a.Merge(b)
+	a.mu.Lock()
+	light := 0
+	for _, v := range a.samples {
+		if v == 2 {
+			light++
+		}
+	}
+	total := len(a.samples)
+	a.mu.Unlock()
+	// Proportionally the light source is 50/10050 ≈ 0.5% of the mass; even
+	// with sampling noise it must stay a small minority of retained slots.
+	if light > total/5 {
+		t.Errorf("light source holds %d/%d retained slots; weighting failed", light, total)
+	}
+}
+
+func TestMergeSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge(self) did not panic")
+		}
+	}()
+	h := NewHistogram()
+	h.Merge(h)
+}

@@ -13,6 +13,7 @@ import (
 	"flacos/internal/flacdk/ds"
 	"flacos/internal/memsys"
 	"flacos/internal/metrics"
+	"flacos/internal/trace"
 )
 
 // Func is a schedulable function. It runs on whichever node claims the
@@ -173,6 +174,8 @@ type Scheduler struct {
 	redispatch *metrics.Histogram // lease reclaim -> re-claim
 	service    *metrics.Histogram // claim -> completion
 
+	tr tracing // flight-recorder hooks (see trace.go)
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	started  atomic.Bool
@@ -204,6 +207,7 @@ func New(f *fabric.Fabric, cfg Config) *Scheduler {
 		s.service.SetReservoir(cfg.HistCap, cfg.Seed+2)
 	}
 	nn := f.NumNodes()
+	s.tr.trw = make([]atomic.Pointer[trace.Writer], nn)
 	s.inboxes = make([]*ds.MPSCRing, nn)
 	s.localQ = make([]chan LocalTask, nn)
 	s.inboxMu = make([]sync.Mutex, nn)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"flacos/internal/fabric"
+	"flacos/internal/trace"
 )
 
 // worker is one claiming goroutine of node id — one of the node's CPUs
@@ -159,6 +160,12 @@ func (s *Scheduler) claimAndRun(n *fabric.Node, id int, slot uint64) bool {
 	} else {
 		s.dispatch.Record(latencyNS(enq, claimed))
 	}
+	if tw := s.tw(id); tw != nil {
+		tw.Begin(trace.SubSched, trace.KDispatch, slot, stAttempt(w))
+		if assigned != id {
+			tw.Emit(trace.SubSched, trace.KSteal, 0, slot, uint64(assigned))
+		}
+	}
 	fnID := n.AtomicLoad64(s.fnG(slot))
 	arg0 := n.AtomicLoad64(s.arg0G(slot))
 	arg1 := n.AtomicLoad64(s.arg1G(slot))
@@ -177,6 +184,9 @@ func (s *Scheduler) claimAndRun(n *fabric.Node, id int, slot uint64) bool {
 		n.Add64(s.completedG(), 1)
 		n.Add64(s.loadG(id), ^uint64(0))
 		s.service.Record(latencyNS(claimed, nowNS()))
+		if tw := s.tw(id); tw != nil {
+			tw.End(trace.SubSched, trace.KComplete, slot, stAttempt(w))
+		}
 	}
 	return true
 }

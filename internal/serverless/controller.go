@@ -3,9 +3,11 @@ package serverless
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"flacos/internal/fabric"
 	"flacos/internal/ipc"
+	"flacos/internal/trace"
 )
 
 // Function is a deployed serverless function.
@@ -46,6 +48,8 @@ type Controller struct {
 	fns    map[string]*Function
 	load   []int // warm instances per node (density tracking)
 	placer func(density []int) int
+
+	trw []atomic.Pointer[trace.Writer] // per-node flight-recorder hooks
 }
 
 // SetPlacer installs an external placement oracle consulted by pickNode
@@ -67,6 +71,7 @@ func NewController(runtimes []*NodeRuntime, services *ipc.ServiceTable) *Control
 		services: services,
 		fns:      make(map[string]*Function),
 		load:     make([]int, len(runtimes)),
+		trw:      make([]atomic.Pointer[trace.Writer], len(runtimes)),
 	}
 }
 
@@ -120,6 +125,9 @@ func (c *Controller) ScaleUp(name string) (StartupReport, error) {
 	nodeID := c.pickNode()
 	c.mu.Unlock()
 
+	if tw := c.tw(nodeID); tw != nil {
+		tw.Emit(trace.SubServerless, trace.KPlace, 0, fnHash(name), uint64(nodeID))
+	}
 	rep, err := c.runtimes[nodeID].StartContainer(f.Image)
 	if err != nil {
 		return rep, err
@@ -150,6 +158,9 @@ func (c *Controller) ScaleUpOn(name string, nodeID int) (StartupReport, error) {
 	if nodeID < 0 || nodeID >= len(c.runtimes) {
 		return StartupReport{}, fmt.Errorf("serverless: no node %d", nodeID)
 	}
+	if tw := c.tw(nodeID); tw != nil {
+		tw.Emit(trace.SubServerless, trace.KPlace, 0, fnHash(name), uint64(nodeID))
+	}
 	rep, err := c.runtimes[nodeID].StartContainer(f.Image)
 	if err != nil {
 		return rep, err
@@ -179,15 +190,17 @@ func (c *Controller) Invoke(caller *fabric.Node, name string, req []byte) ([]byt
 	if !ok {
 		return nil, fmt.Errorf("serverless: function %q not deployed", name)
 	}
-	if f.Instances() == 0 {
-		if _, err := c.ScaleUp(name); err != nil {
-			return nil, err
+	return c.tracedInvoke(caller, name, len(req), func() ([]byte, error) {
+		if f.Instances() == 0 {
+			if _, err := c.ScaleUp(name); err != nil {
+				return nil, err
+			}
 		}
-	}
-	f.mu.Lock()
-	f.invokes++
-	f.mu.Unlock()
-	return c.services.Call(caller, name, req)
+		f.mu.Lock()
+		f.invokes++
+		f.mu.Unlock()
+		return c.services.Call(caller, name, req)
+	})
 }
 
 // InvokeChain runs a service chain: each function's output is the next

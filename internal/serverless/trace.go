@@ -1,0 +1,46 @@
+package serverless
+
+import (
+	"hash/fnv"
+
+	"flacos/internal/fabric"
+	"flacos/internal/trace"
+)
+
+// SetTrace attaches the control plane's invocation and placement paths
+// to r's per-node writers; a nil recorder detaches.
+func (c *Controller) SetTrace(r *trace.Recorder) {
+	for i := range c.trw {
+		c.trw[i].Store(r.Writer(i))
+	}
+}
+
+// tw returns node id's writer, or nil when tracing is off.
+func (c *Controller) tw(id int) *trace.Writer {
+	if id < 0 || id >= len(c.trw) {
+		return nil
+	}
+	return c.trw[id].Load()
+}
+
+// fnHash names a function in a trace operand: FNV-1a of its name, so the
+// same function hashes identically on every node and invoke spans pair up.
+func fnHash(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// tracedInvoke wraps the body of one invocation in a KInvoke span on the
+// caller's writer (arg0 = function-name hash, arg1 = request length).
+func (c *Controller) tracedInvoke(caller *fabric.Node, name string, reqLen int, body func() ([]byte, error)) ([]byte, error) {
+	tw := c.tw(caller.ID())
+	if tw == nil {
+		return body()
+	}
+	h := fnHash(name)
+	tw.Begin(trace.SubServerless, trace.KInvoke, h, uint64(reqLen))
+	out, err := body()
+	tw.End(trace.SubServerless, trace.KInvoke, h, uint64(len(out)))
+	return out, err
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flacos/internal/fabric"
+	"flacos/internal/trace"
 )
 
 // EventKind is one fault-schedule action.
@@ -52,16 +53,24 @@ type Event struct {
 	Kind EventKind
 	Node int    // victim (crash/restart/degrade); unused for rates
 	Arg  uint64 // rate in ppm, or extra hops
+	// FiredVNS is the rack virtual time (max node clock) at which apply
+	// fired the event — 0 until then. It lines the event log up with the
+	// flight recorder's virtual-timestamped trace.
+	FiredVNS uint64
 }
 
 func (ev Event) String() string {
+	vt := ""
+	if ev.FiredVNS != 0 {
+		vt = fmt.Sprintf(" vt=%-9s", trace.VNS(ev.FiredVNS))
+	}
 	switch ev.Kind {
 	case EvCrash, EvRestart:
-		return fmt.Sprintf("@%-6d %s node=%d", ev.AtOp, ev.Kind, ev.Node)
+		return fmt.Sprintf("@%-6d%s %s node=%d", ev.AtOp, vt, ev.Kind, ev.Node)
 	case EvDegradeOn, EvDegradeOff:
-		return fmt.Sprintf("@%-6d %s node=%d hops=+%d", ev.AtOp, ev.Kind, ev.Node, ev.Arg)
+		return fmt.Sprintf("@%-6d%s %s node=%d hops=+%d", ev.AtOp, vt, ev.Kind, ev.Node, ev.Arg)
 	default:
-		return fmt.Sprintf("@%-6d %s ppm=%d", ev.AtOp, ev.Kind, ev.Arg)
+		return fmt.Sprintf("@%-6d%s %s ppm=%d", ev.AtOp, vt, ev.Kind, ev.Arg)
 	}
 }
 
@@ -149,14 +158,14 @@ func drive(env *Env, w Workload, schedule []Event, done <-chan struct{}) {
 		select {
 		case <-done:
 			for ; idx < len(schedule); idx++ {
-				apply(env, w, schedule[idx])
+				apply(env, w, &schedule[idx])
 			}
 			return
 		default:
 		}
 		cur := env.Ops()
 		if cur >= schedule[idx].AtOp || (cur == lastOps && time.Since(lastProgress) > stallTimeout) {
-			apply(env, w, schedule[idx])
+			apply(env, w, &schedule[idx])
 			idx++
 			lastOps = cur
 			lastProgress = time.Now()
@@ -170,9 +179,15 @@ func drive(env *Env, w Workload, schedule []Event, done <-chan struct{}) {
 	}
 }
 
-// apply fires one event against the rack.
-func apply(env *Env, w Workload, ev Event) {
+// apply fires one event against the rack, stamping its rack-virtual fire
+// time and mirroring it into the flight recorder (via node 0, which never
+// crashes) so post-mortem timelines show faults amid subsystem events.
+func apply(env *Env, w Workload, ev *Event) {
 	f := env.Fab
+	ev.FiredVNS = rackVNS(f)
+	if env.Trace != nil {
+		env.Trace.Writer(0).Emit(trace.SubTorture, trace.KFault, 0, uint64(ev.Kind), uint64(ev.Node))
+	}
 	var n *fabric.Node
 	if ev.Node >= 0 && ev.Node < f.NumNodes() {
 		n = f.Node(ev.Node)
@@ -206,4 +221,16 @@ func apply(env *Env, w Workload, ev Event) {
 			n.SetLinkDegradation(0)
 		}
 	}
+}
+
+// rackVNS returns the rack's virtual time: the furthest-ahead node clock
+// (safe to read even from crashed nodes).
+func rackVNS(f *fabric.Fabric) uint64 {
+	var max uint64
+	for i := 0; i < f.NumNodes(); i++ {
+		if v := f.Node(i).VirtualNS(); v > max {
+			max = v
+		}
+	}
+	return max
 }

@@ -32,6 +32,7 @@ import (
 	"flacos/internal/fabric"
 	"flacos/internal/flacdk/ds"
 	"flacos/internal/memsys"
+	"flacos/internal/trace"
 )
 
 // FaultClass is a bitmask of injectable fault classes.
@@ -104,6 +105,13 @@ type Config struct {
 	// CacheLines bounds each node cache (default -1: unbounded, so stale
 	// lines stay resident and missing invalidates are observable).
 	CacheLines int
+	// NoTrace disables the rack flight recorder. Tracing is on by default:
+	// a failing sweep's report carries the merged pre-failure timeline
+	// (Report.TraceTimeline / TraceJSON), including whatever a crashed
+	// node published before dying.
+	NoTrace bool
+	// TraceRingCap sizes each node's event ring (default 32768 slots).
+	TraceRingCap uint64
 }
 
 func (c *Config) fillDefaults() {
@@ -140,6 +148,9 @@ func (c *Config) fillDefaults() {
 	if c.CacheLines == 0 {
 		c.CacheLines = -1
 	}
+	if c.TraceRingCap == 0 {
+		c.TraceRingCap = 1 << 15
+	}
 }
 
 // Violation is one invariant breach found by a checker.
@@ -175,6 +186,10 @@ type RestartHandler interface {
 type Env struct {
 	Fab *fabric.Fabric
 	Cfg Config
+	// Trace is the rack flight recorder, nil when Cfg.NoTrace is set.
+	// Workloads attach their subsystems to it in Prepare (SetTrace is
+	// nil-recorder safe, so unconditional attachment is fine).
+	Trace *trace.Recorder
 
 	ops    atomic.Uint64
 	violMu sync.Mutex
@@ -243,6 +258,11 @@ type Report struct {
 	BitFlips   uint64
 	DroppedWBs uint64
 	Violations []Violation
+	// TraceTimeline and TraceJSON hold the merged rack flight-recorder
+	// extract (human timeline tail and Chrome trace_event JSON), filled
+	// only for failing runs with tracing enabled.
+	TraceTimeline string
+	TraceJSON     []byte
 }
 
 // Passed reports whether every invariant held.
@@ -331,9 +351,15 @@ func Run(w Workload, cfg Config) *Report {
 		GlobalSize:         cfg.GlobalMemBytes,
 		Nodes:              cfg.Nodes,
 		CacheCapacityLines: cfg.CacheLines,
-		FaultSeed:          cfg.Seed,
+		// Accounting-only latency gives the flight recorder deterministic
+		// virtual timestamps; it adds no real delay to the sweep.
+		Latency:   fabric.DefaultLatency(),
+		FaultSeed: cfg.Seed,
 	})
 	env := &Env{Fab: f, Cfg: cfg}
+	if !cfg.NoTrace {
+		env.Trace = trace.New(f, trace.Config{RingCap: cfg.TraceRingCap})
+	}
 	if cfg.Break != "" {
 		if err := ApplyBreak(cfg.Break); err != nil {
 			panic(err)
@@ -388,7 +414,7 @@ func Run(w Workload, cfg Config) *Report {
 		w.Check(env)
 	}()
 	viols = append(viols, env.takeViolations()...)
-	return &Report{
+	rep := &Report{
 		Workload:   w.Name(),
 		Seed:       cfg.Seed,
 		Faults:     mask,
@@ -398,6 +424,14 @@ func Run(w Workload, cfg Config) *Report {
 		DroppedWBs: f.Faults().DroppedWriteBacks(),
 		Violations: viols,
 	}
+	if !rep.Passed() && env.Trace != nil {
+		// Post-mortem: extract every node's ring — crashed nodes' published
+		// events are still in global memory — and attach the merged tail.
+		rt := env.Trace.Collector().Snapshot(f.Node(0), false)
+		rep.TraceTimeline = rt.TimelineTail(256)
+		rep.TraceJSON = rt.ChromeJSON()
+	}
+	return rep
 }
 
 // quiesce restores the rack to a fault-free, fully-alive state so final

@@ -1,7 +1,9 @@
 package torture
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -52,8 +54,13 @@ func TestTortureDeterminism(t *testing.T) {
 				t.Fatalf("event counts differ: %d vs %d", len(r1.Events), len(r2.Events))
 			}
 			for i := range r1.Events {
-				if r1.Events[i] != r2.Events[i] {
-					t.Fatalf("event %d differs: %v vs %v", i, r1.Events[i], r2.Events[i])
+				a, b := r1.Events[i], r2.Events[i]
+				// FiredVNS is the observed rack-virtual fire time: timing
+				// metadata that varies with interleaving, not part of the
+				// seed-derived schedule the replay contract covers.
+				a.FiredVNS, b.FiredVNS = 0, 0
+				if a != b {
+					t.Fatalf("event %d differs: %v vs %v", i, a, b)
 				}
 			}
 			if r1.Verdict() != r2.Verdict() {
@@ -93,4 +100,41 @@ func TestTortureCatchesRingInvalidateBreak(t *testing.T) {
 // the version-floor checker must flag it.
 func TestTortureCatchesShootdownBreak(t *testing.T) {
 	requireCaught(t, "memsys", "shootdown")
+}
+
+// TestFailureAttachesTrace: a failing sweep must come back with the
+// flight recorder's merged post-mortem attached — a non-empty timeline
+// and parseable Chrome JSON — while a passing sweep stays lean.
+func TestFailureAttachesTrace(t *testing.T) {
+	var failed *Report
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := smokeConfig(seed)
+		cfg.OpsPerClient = 250
+		cfg.Break = "ring-invalidate"
+		rep := Run(ByName("ds"), cfg)
+		if !rep.Passed() {
+			failed = rep
+			break
+		}
+	}
+	if failed == nil {
+		t.Fatal("no seed produced a failing run to attach a trace to")
+	}
+	if failed.TraceTimeline == "" {
+		t.Error("failing report has no TraceTimeline")
+	}
+	if !json.Valid(failed.TraceJSON) {
+		t.Errorf("failing report's TraceJSON does not parse: %.80s", failed.TraceJSON)
+	}
+	if !strings.Contains(failed.TraceTimeline, "rack trace:") {
+		t.Errorf("timeline missing header:\n%.200s", failed.TraceTimeline)
+	}
+
+	pass := Run(ByName("ds"), smokeConfig(1))
+	if !pass.Passed() {
+		t.Fatalf("expected clean ds run to pass:\n%s", pass)
+	}
+	if pass.TraceTimeline != "" || pass.TraceJSON != nil {
+		t.Error("passing report should not carry a trace extract")
+	}
 }

@@ -78,6 +78,7 @@ func (w *fsWorkload) Prepare(env *Env) {
 		MetaLogCap:  4096,
 		MaxMounts:   2*n + 2*env.Cfg.Events + 8,
 	})
+	w.fsys.SetTrace(env.Trace)
 	w.extras = make(map[string]uint64)
 	w.names = make([]string, n)
 	w.ids = make([]uint64, n)

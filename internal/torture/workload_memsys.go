@@ -77,6 +77,7 @@ func (w *memsysWorkload) Prepare(env *Env) {
 	arena := alloc.NewArena(f, 8<<20)
 	w.frames = memsys.NewGlobalFrames(f, uint64(totalPages*4+128))
 	w.space = memsys.NewSpace(f, 1, w.frames, arena.NodeAllocator(f.Node(0), 0), 256)
+	w.space.SetTrace(env.Trace)
 	w.mmus = make([]*memsys.MMU, n)
 	for i := 0; i < n; i++ {
 		w.mmus[i] = w.space.Attach(f.Node(i), arena.NodeAllocator(f.Node(i), 0), nil, 256)

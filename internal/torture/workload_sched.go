@@ -53,6 +53,7 @@ func (w *schedWorkload) Prepare(env *Env) {
 		StealGrace:  500 * time.Microsecond,
 		HistCap:     1024,
 	})
+	w.s.SetTrace(env.Trace)
 	w.fn = w.s.Register(func(n *fabric.Node, arg0, arg1 uint64) {
 		n.Add64(w.execBase+fabric.GPtr(arg1*8), 1)
 		// Linger off-fabric so a crash can land mid-task, then touch the

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"testing"
+
+	"flacos/internal/fabric"
+)
+
+// BenchmarkEmit measures the wall-clock hot path of one event: compose,
+// full-line cached write, explicit write-back. The ring is drained every
+// half capacity so the benchmark never enters the (cheaper) drop path.
+func BenchmarkEmit(b *testing.B) {
+	f := fabric.New(fabric.Config{
+		GlobalSize: 64 << 20, Nodes: 2,
+		CacheCapacityLines: -1, Latency: fabric.DefaultLatency(),
+	})
+	rec := New(f, Config{RingCap: 1 << 16})
+	w := rec.Writer(0)
+	c := rec.Collector()
+	drain := int(rec.Cap() / 2)
+	reader := f.Node(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Emit(SubApp, KMark, 0, uint64(i), 0)
+		if i%drain == drain-1 {
+			b.StopTimer()
+			c.SnapshotNode(reader, 0, true)
+			b.StartTimer()
+		}
+	}
+	if d := w.Dropped(); d != 0 {
+		b.Fatalf("benchmark dropped %d events; the drop path polluted the measurement", d)
+	}
+}

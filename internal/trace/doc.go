@@ -1,0 +1,35 @@
+// Package trace is FlacOS's rack-wide flight recorder: an always-on,
+// low-overhead event log whose buffers live in the offset-addressed
+// global-memory arena, so a surviving node can extract and merge a
+// crashed node's pre-crash events — post-mortem debugging across the
+// fabric, which is exactly what a partially-shared OS makes possible.
+//
+// Each node owns a fixed-size ring of 64-byte event records (one cache
+// line each: timestamp, subsystem/kind/node/flags, two operand words,
+// and a publication sequence). The writer never blocks and never takes a
+// lock: it claims a ticket with a node-local atomic, composes the whole
+// record as a single full-line store, and pushes it to home memory with
+// one explicit write-back. The record's sequence word is the line's LAST
+// word, and the fabric commits line words in ascending order, so a
+// record becomes visible at home atomically-enough: a reader either sees
+// the old sequence (and ignores the slot) or the new sequence with the
+// payload already landed. A node that crashes mid-emit loses at most the
+// records it had not yet written back; everything published survives in
+// home memory.
+//
+// When the ring is full (the collector's consumption cursor has fallen a
+// full ring behind), new events are dropped and counted — the hot path
+// never waits for a reader.
+//
+// The Collector snapshots every node's ring through any live node,
+// invalidating its own cached copies first, validates each slot with a
+// sequence double-read (rejecting slots that are mid-overwrite or
+// corrupted by fault injection), merges all nodes by virtual timestamp,
+// and renders a human-readable timeline or a Chrome trace_event JSON
+// blob (open via chrome://tracing or https://ui.perfetto.dev).
+//
+// Timestamps come from the fabric's virtual-latency clock (Node
+// VirtualNS); when the fabric runs with LatencyOff the recorder falls
+// back to wall-clock nanoseconds since the recorder was created, so
+// traces stay ordered in unit tests too.
+package trace
