@@ -13,6 +13,7 @@
 //	flacbench -experiment dedup        # ablation E: page dedup
 //	flacbench -experiment density      # ablation F: density-aware routing
 //	flacbench -experiment sched        # ablation G: coordinated scheduling
+//	flacbench -experiment redisrack    # rack-shared Redis: 1 vs N serving nodes
 //	flacbench -experiment trace        # flight-recorder overhead budget
 //	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
 //	flacbench -experiment torture -seed 42            # replay one failing seed
@@ -24,9 +25,15 @@
 // failing reports (seed + event trace) to torture-failures.txt for CI
 // artifact upload. With -torture-break it inverts: the run must FAIL
 // (the deliberately broken path must be caught) or flacbench exits 1.
+//
+// The redisrack experiment also exits nonzero on a stale, torn or
+// backwards cross-node read, or a multi-node speedup under its gate.
+// With -bench-json, experiments that publish machine-readable headline
+// numbers write them to BENCH_<name>.json for cross-PR tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,12 +44,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|trace|torture|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|trace|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
 	tortureBreak := flag.String("torture-break", "", "torture: enable a deliberately broken sync path (ring-invalidate|shootdown); the run must then be caught as FAIL")
-	tortureWorkload := flag.String("torture-workload", "", "torture: restrict the matrix to one workload (ds|sched|fs|memsys)")
+	tortureWorkload := flag.String("torture-workload", "", "torture: restrict the matrix to one workload (ds|sched|fs|memsys|redisrack)")
+	benchJSON := flag.Bool("bench-json", false, "write each experiment's machine-readable headline to BENCH_<name>.json")
 	flag.Parse()
 
 	runners := map[string]func(quick bool) *experiments.Result{
@@ -108,7 +116,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "trace", "torture"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "trace", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -120,7 +128,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -136,6 +144,18 @@ func main() {
 			var failed bool
 			res, failed = runTorture(*quick, *seed, *tortureBreak, *tortureWorkload)
 			if failed {
+				exitCode = 1
+			}
+		} else if name == "redisrack" {
+			cfg := experiments.DefaultRedisRack()
+			if *quick {
+				cfg.Batches = 80
+				cfg.LatencyOps = 60
+			}
+			var failed bool
+			res, failed = experiments.RedisRack(cfg)
+			if failed {
+				fmt.Fprintln(os.Stderr, "flacbench: redisrack observed a stale/torn/backwards read or missed its multi-node speedup gate")
 				exitCode = 1
 			}
 		} else if name == "trace" {
@@ -155,9 +175,31 @@ func main() {
 			res = runners[name](*quick)
 		}
 		fmt.Println(res.String())
+		if *benchJSON && res.Bench != nil {
+			if err := writeBenchJSON(res.Bench); err != nil {
+				fmt.Fprintf(os.Stderr, "flacbench: could not write bench JSON for %s: %v\n", name, err)
+				exitCode = 1
+			}
+		}
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
 	}
 	os.Exit(exitCode)
+}
+
+// writeBenchJSON dumps one experiment's headline numbers to
+// BENCH_<name>.json — the machine-readable artifact CI uploads so the
+// bench trajectory is tracked across PRs.
+func writeBenchJSON(b *experiments.Bench) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", b.Name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flacbench: bench headline written to %s\n", path)
+	return nil
 }
 
 // runTorture executes the torture matrix with the CLI's replay/break

@@ -29,6 +29,7 @@ import (
 	"flacos/internal/ipc"
 	"flacos/internal/irq"
 	"flacos/internal/memsys"
+	"flacos/internal/redis"
 	"flacos/internal/sched"
 	"flacos/internal/serverless"
 	"flacos/internal/trace"
@@ -60,6 +61,11 @@ type Config struct {
 	IPC ipc.Config
 	// FaultSeed seeds the deterministic fault injector.
 	FaultSeed int64
+	// RedisSlots sizes the rack-shared Redis index (distinct keys ever
+	// stored; default 1<<15). Only consumed if RedisStore is used.
+	RedisSlots uint64
+	// RedisViews bounds concurrent rack-shared Redis views (default 128).
+	RedisViews int
 }
 
 func (c *Config) fillDefaults() {
@@ -125,6 +131,10 @@ type Rack struct {
 	sched       *sched.Scheduler
 	schedBooted atomic.Bool
 
+	redisOnce sync.Once
+	redis     *redis.RackStore
+	redisCfg  redis.RackStoreConfig
+
 	traceMu sync.Mutex
 	tracer  *trace.Recorder
 }
@@ -147,6 +157,41 @@ func (r *Rack) Scheduler() *sched.Scheduler {
 		}
 	})
 	return r.sched
+}
+
+// RedisStore returns the rack-shared Redis keyspace, laying it out in
+// global memory on first use: the key index is a flacdk/ds hashmap, the
+// entry blocks come from the kernel object arena, and replaced values are
+// reclaimed through flacdk/quiescence. Every node serves the SAME dataset
+// through views from OS.RedisView — the paper's Fig. 4 workload running
+// on the shared-OS substrate instead of a per-node Go heap.
+func (r *Rack) RedisStore() *redis.RackStore {
+	r.redisOnce.Do(func() {
+		cfg := r.redisCfg
+		cfg.Arena = r.Arena
+		r.redis = redis.NewRackStore(r.Fabric, cfg)
+	})
+	return r.redis
+}
+
+// RedisView attaches one worker's view on the rack-shared Redis store to
+// this node. A view is single-goroutine (it owns a quiescence participant);
+// attach one per server session or client worker. SET/GET spans land in
+// the flight recorder when EnableTrace ran first.
+func (o *OS) RedisView() *redis.View {
+	v := o.Rack.RedisStore().Attach(o.Node)
+	if t := o.Rack.Trace(); t != nil {
+		v.SetTrace(t.Writer(o.Node.ID()))
+	}
+	return v
+}
+
+// RedisServer stands up a Redis server on this node over a fresh view of
+// the rack-shared store. Servers on different nodes execute against the
+// same dataset; each accepted connection needs its own server (sessions
+// execute on the server's single view).
+func (o *OS) RedisServer() *redis.Server {
+	return redis.NewServer(o.RedisView())
 }
 
 // EnableTrace boots the rack-wide flight recorder (internal/trace) and
@@ -208,7 +253,7 @@ func Boot(cfg Config) *Rack {
 		Latency:            cfg.Latency,
 		FaultSeed:          cfg.FaultSeed,
 	})
-	r := &Rack{Fabric: f}
+	r := &Rack{Fabric: f, redisCfg: redis.RackStoreConfig{Slots: cfg.RedisSlots, MaxViews: cfg.RedisViews}}
 	// One frame pool serves both anonymous memory and the page cache, so
 	// file-backed mappings can move frames between them (COW breaks).
 	r.Frames = memsys.NewGlobalFrames(f, cfg.AnonFrames+cfg.PageCacheFrames)

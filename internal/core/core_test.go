@@ -10,6 +10,7 @@ import (
 	"flacos/internal/irq"
 	"flacos/internal/memsys"
 	"flacos/internal/serverless"
+	"flacos/internal/trace"
 )
 
 func TestBootDefaults(t *testing.T) {
@@ -205,3 +206,40 @@ func TestScrubberWiredToFabric(t *testing.T) {
 
 // irqVector aliases the irq package's vector type for the test above.
 type irqVector = irq.Vector
+
+func TestRedisStoreSharedThroughFacade(t *testing.T) {
+	r := Boot(Config{Nodes: 2})
+	defer r.Shutdown()
+	rec := r.EnableTrace(trace.Config{RingCap: 1 << 10})
+
+	// Views from different OS instances serve ONE dataset.
+	a, b := r.OS(0).RedisView(), r.OS(1).RedisView()
+	if err := a.Set("facade", []byte("shared"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Get("facade"); !ok || string(got) != "shared" {
+		t.Fatalf("node 1 view: %q ok=%v", got, ok)
+	}
+	if r.RedisStore() != a.Store() || a.Store() != b.Store() {
+		t.Fatal("views not attached to the rack's one store")
+	}
+
+	// A per-node server executes against the same keyspace.
+	srv := r.OS(1).RedisServer()
+	if resp := srv.Execute([]byte("*2\r\n$3\r\nGET\r\n$6\r\nfacade\r\n")); !bytes.Contains(resp, []byte("shared")) {
+		t.Fatalf("server on node 1: %q", resp)
+	}
+
+	// EnableTrace ran first, so SET/GET emit redis spans.
+	rt := rec.Collector().Snapshot(r.Fabric.Node(0), false)
+	found := false
+	for _, ev := range rt.Events {
+		if ev.Sub == trace.SubRedis && (ev.Kind == trace.KSet || ev.Kind == trace.KGet) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no redis SET/GET spans in the flight recorder")
+	}
+}

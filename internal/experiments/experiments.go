@@ -20,6 +20,19 @@ type Result struct {
 	// Ratios holds the experiment's headline comparisons, e.g.
 	// "tcp/ipc set 64B" -> 2.1.
 	Ratios map[string]float64
+	// Bench, when set, is the experiment's machine-readable headline for
+	// cross-PR tracking (flacbench -bench-json writes it to
+	// BENCH_<name>.json).
+	Bench *Bench
+}
+
+// Bench is one experiment's headline numbers in machine-readable form.
+// Times are virtual nanoseconds; throughput is ops per virtual second.
+type Bench struct {
+	Name      string  `json:"name"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50NS     float64 `json:"p50_ns"`
+	P99NS     float64 `json:"p99_ns"`
 }
 
 func (r *Result) String() string {

@@ -1,0 +1,463 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flacos/internal/core"
+	"flacos/internal/fabric"
+	"flacos/internal/ipc"
+	"flacos/internal/metrics"
+	"flacos/internal/redis"
+)
+
+// RedisRackConfig parameterizes the rack-shared Redis serving ablation.
+type RedisRackConfig struct {
+	// ServeNodes run Redis servers over views of ONE shared store.
+	ServeNodes int
+	// ClientNodes host the client workers (separate from the serving
+	// nodes so client-side virtual cost is identical across modes).
+	ClientNodes int
+	// Clients is the number of concurrent client goroutines (each with
+	// its own connection and key range).
+	Clients int
+	// Batches is rounds per client per throughput phase.
+	Batches int
+	// BatchSize is commands pipelined per round trip.
+	BatchSize int
+	// ValueBytes sizes SET payloads.
+	ValueBytes int
+	// KeysPerClient is each client's private key-range size.
+	KeysPerClient int
+	// LatencyOps is rounds per latency configuration.
+	LatencyOps int
+}
+
+// DefaultRedisRack matches the acceptance setup: 2 serving nodes, 4
+// client goroutines on 2 client nodes, pipelined batches.
+func DefaultRedisRack() RedisRackConfig {
+	return RedisRackConfig{
+		ServeNodes:    2,
+		ClientNodes:   2,
+		Clients:       4,
+		Batches:       300,
+		BatchSize:     16,
+		ValueBytes:    128,
+		KeysPerClient: 64,
+		LatencyOps:    200,
+	}
+}
+
+// RedisRack measures the rack-shared Redis store serving ONE dataset from
+// every node (the paper's Fig. 4 workload on the shared-OS substrate):
+//
+//   - Latency: per-op round-trip cost serial vs pipelined (the batch
+//     amortization the tentpole adds to client and server).
+//   - Throughput: the same client fleet driving 1 serving node vs all
+//     serving nodes. The store is in the global arena, so adding server
+//     nodes divides the serving work without any replication or routing
+//     by key — the makespan (max per-node virtual time) drops.
+//   - Integrity: a hot key written by one client through node 0 and read
+//     by the others through other nodes; every observed GET must be
+//     fresh (not older than the last flush-acknowledged write), intact
+//     (never torn) and monotone (never going backwards). Private keys
+//     are single-writer and every GET must return exactly the last
+//     acknowledged SET.
+//
+// The returned bool reports failure: any stale/torn/backwards/mismatched
+// read, or a multi-node speedup below the 1.5x acceptance gate.
+func RedisRack(cfg RedisRackConfig) (*Result, bool) {
+	res := &Result{
+		Name:   "Rack-shared Redis: one arena-resident dataset served from every node",
+		Table:  metrics.NewTable("phase", "config", "metric", "value"),
+		Ratios: map[string]float64{},
+	}
+
+	rack := core.Boot(core.Config{
+		Nodes: cfg.ServeNodes + cfg.ClientNodes,
+		IPC:   ipcSized(cfg),
+	})
+	defer rack.Shutdown()
+
+	// Phase 1: lockstep latency, serial vs pipelined.
+	serialH := redisRackLatency(rack, cfg, 1)
+	pipeH := redisRackLatency(rack, cfg, cfg.BatchSize)
+	for _, row := range []struct {
+		name string
+		h    *metrics.Histogram
+	}{{"batch=1", serialH}, {fmt.Sprintf("batch=%d", cfg.BatchSize), pipeH}} {
+		s := row.h.Summarize()
+		res.Table.AddRow("latency", row.name, "per-op mean/p50/p99",
+			fmt.Sprintf("%s / %s / %s", ns(s.Mean), ns(s.P50), ns(s.P99)))
+	}
+	if m := pipeH.Mean(); m > 0 {
+		res.Ratios["serial/pipelined per-op latency"] = serialH.Mean() / m
+	}
+
+	// Phases 2+3: throughput and integrity, 1 vs N serving nodes.
+	single := redisRackServe(rack, cfg, 1)
+	multi := redisRackServe(rack, cfg, cfg.ServeNodes)
+	for _, m := range []*serveOutcome{single, multi} {
+		res.Table.AddRow("throughput", fmt.Sprintf("%d server node(s)", m.serveNodes),
+			"ops/s (virtual)", fmt.Sprintf("%.0f", m.opsPerSec))
+		res.Table.AddRow("throughput", fmt.Sprintf("%d server node(s)", m.serveNodes),
+			"makespan", ns(float64(m.makespanNS)))
+		res.Table.AddRow("integrity", fmt.Sprintf("%d server node(s)", m.serveNodes),
+			"stale/torn/backwards/mismatch",
+			fmt.Sprintf("%d / %d / %d / %d", m.stale, m.torn, m.backwards, m.mismatch))
+	}
+	ratio := 0.0
+	if single.opsPerSec > 0 {
+		ratio = multi.opsPerSec / single.opsPerSec
+	}
+	res.Ratios["multi/single node throughput"] = ratio
+
+	ps := pipeH.Summarize()
+	res.Bench = &Bench{
+		Name:      "redisrack",
+		OpsPerSec: multi.opsPerSec,
+		P50NS:     ps.P50,
+		P99NS:     ps.P99,
+	}
+
+	failed := ratio < 1.5 ||
+		single.violations() > 0 || multi.violations() > 0
+	return res, failed
+}
+
+// ipcSized sizes the switchboard so a whole pipelined batch fits one IPC
+// message with room for RESP overhead, with connection slots for both
+// throughput modes plus the latency session.
+func ipcSized(cfg RedisRackConfig) ipc.Config {
+	return ipc.Config{
+		MsgMax:       uint64(cfg.BatchSize*(cfg.ValueBytes+96) + 4096),
+		MaxConns:     2*cfg.Clients + 4,
+		MaxListeners: 2*cfg.Clients + 4,
+	}
+}
+
+// redisRackLatency runs one lockstep client against one server session on
+// node 0 and returns the per-op virtual latency histogram at the given
+// pipeline depth (each sample is one round trip's rack cost divided by
+// the batch size).
+func redisRackLatency(rack *core.Rack, cfg RedisRackConfig, batch int) *metrics.Histogram {
+	f := rack.Fabric
+	sess, cl, closeAll := redisRackConnect(rack, cfg, "lat", 0, cfg.ServeNodes)
+	defer closeAll()
+
+	h := metrics.NewHistogram()
+	value := patternValue(0, "warm", 1, cfg.ValueBytes)
+	rackNS := func() uint64 { return f.RackStats().VirtualNS }
+	for op := 0; op < cfg.LatencyOps; op++ {
+		before := rackNS()
+		for r := 0; r < batch; r++ {
+			key := fmt.Sprintf("lat-%d", (op*batch+r)%cfg.KeysPerClient)
+			if (op+r)%2 == 0 {
+				cl.PipeSet(key, value, 0)
+			} else {
+				cl.PipeGet(key)
+			}
+		}
+		n, err := cl.FlushSend()
+		if err != nil {
+			panic(err)
+		}
+		sess.serveOne()
+		if _, err := cl.FlushRecv(n); err != nil {
+			panic(err)
+		}
+		h.Record(float64(rackNS()-before) / float64(batch))
+	}
+	return h
+}
+
+// serveOutcome is one throughput phase's measurements.
+type serveOutcome struct {
+	serveNodes int
+	opsPerSec  float64
+	makespanNS uint64
+	stale      int
+	torn       int
+	backwards  int
+	mismatch   int
+}
+
+func (o *serveOutcome) violations() int { return o.stale + o.torn + o.backwards + o.mismatch }
+
+// session is one server-side connection: a Server over its own view of
+// the shared store, executing one pipelined batch per round.
+type session struct {
+	srv  *redis.Server
+	view *redis.View
+	conn redis.Conn
+	buf  []byte
+	out  []byte
+}
+
+func (s *session) serveOne() {
+	n, err := s.conn.Recv(s.buf)
+	if err != nil {
+		panic(err)
+	}
+	s.out = s.srv.ExecuteBatch(s.out[:0], s.buf[:n])
+	if err := s.conn.Send(s.out); err != nil {
+		panic(err)
+	}
+}
+
+// redisRackConnect establishes one client connection to serving node
+// srvIdx (listener name unique per mode+client) plus its server session.
+func redisRackConnect(rack *core.Rack, cfg RedisRackConfig, mode string, j, clientNode int) (*session, *redis.Client, func()) {
+	srvIdx := j % maxInt(1, cfg.ServeNodes)
+	name := fmt.Sprintf("redis-%s-%d", mode, j)
+	l, err := rack.OS(srvIdx).Endpoint.Bind(name)
+	if err != nil {
+		panic(err)
+	}
+	var sconn redis.Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); sconn = l.Accept() }()
+	cconn, err := rack.OS(clientNode).Endpoint.Connect(name)
+	if err != nil {
+		panic(err)
+	}
+	wg.Wait()
+	view := rack.OS(srvIdx).RedisView()
+	sess := &session{
+		srv:  redis.NewServer(view),
+		view: view,
+		conn: sconn,
+		buf:  make([]byte, 256<<10),
+	}
+	cl := redis.NewClient(cconn, 256<<10)
+	return sess, cl, func() { cconn.Close(); l.Close() }
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// patternValue builds a self-checking payload: 8 bytes of sequence
+// followed by bytes derived from (seq, key, salt). A torn read — any mix
+// of two payloads — fails the byte check.
+func patternValue(seq uint64, key string, salt byte, size int) []byte {
+	if size < 9 {
+		size = 9
+	}
+	v := make([]byte, size)
+	binary.LittleEndian.PutUint64(v, seq)
+	for i := 8; i < size; i++ {
+		v[i] = byte(uint64(i)+seq) ^ byte(len(key)) ^ salt
+	}
+	return v
+}
+
+// checkPattern validates a payload against patternValue's construction,
+// returning the sequence it carries and whether every byte is consistent
+// with it.
+func checkPattern(v []byte, key string, salt byte) (seq uint64, intact bool) {
+	if len(v) < 9 {
+		return 0, false
+	}
+	seq = binary.LittleEndian.Uint64(v)
+	for i := 8; i < len(v); i++ {
+		if v[i] != byte(uint64(i)+seq)^byte(len(key))^salt {
+			return seq, false
+		}
+	}
+	return seq, true
+}
+
+// redisRackServe runs the full client fleet against serveNodes servers in
+// barriered rounds (queue+send, serve, receive+check): no connection ever
+// spin-waits, so per-node virtual time is pure work and the phase
+// makespan — the maximum per-node virtual time — is an honest serving-
+// capacity measure.
+func redisRackServe(rack *core.Rack, cfg RedisRackConfig, serveNodes int) *serveOutcome {
+	f := rack.Fabric
+	mode := fmt.Sprintf("serve%d", serveNodes)
+	hotKey := "hot-" + mode
+
+	type clientState struct {
+		cl       *redis.Client
+		sess     *session
+		lastVal  map[string][]byte
+		setCount map[string]uint64
+		expect   []func(v redis.Value) // reply checkers, queue order
+		pending  int
+
+		hotSeq     uint64 // writer: last queued hot sequence
+		floorAtTx  uint64 // reader: floor loaded before FlushSend
+		lastHotSeq uint64 // reader: monotonicity floor
+	}
+
+	var floor atomic.Uint64 // hot sequences acknowledged to the writer
+	out := &serveOutcome{serveNodes: serveNodes}
+	var viol struct {
+		sync.Mutex
+		stale, torn, backwards, mismatch int
+	}
+
+	clients := make([]*clientState, cfg.Clients)
+	closers := make([]func(), 0, cfg.Clients)
+	for j := range clients {
+		clientNode := cfg.ServeNodes + j%maxInt(1, cfg.ClientNodes)
+		scfg := cfg
+		scfg.ServeNodes = serveNodes
+		sess, cl, cl0 := redisRackConnect(rack, scfg, mode, j, clientNode)
+		closers = append(closers, cl0)
+		clients[j] = &clientState{
+			cl:       cl,
+			sess:     sess,
+			lastVal:  map[string][]byte{},
+			setCount: map[string]uint64{},
+		}
+	}
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+
+	// Per-round client steps. Queue/check run in parallel across clients;
+	// rounds are barriered so a flush-acknowledged write is fully applied
+	// before any later round's reads are served.
+	queue := func(j int, c *clientState, b int) {
+		c.expect = c.expect[:0]
+		for r := 0; r < cfg.BatchSize; r++ {
+			if j == 0 && r == cfg.BatchSize-1 {
+				// The hot writer: one hot SET per round, last in the batch.
+				c.hotSeq++
+				c.cl.PipeSet(hotKey, patternValue(c.hotSeq, hotKey, 7, cfg.ValueBytes), 0)
+				c.expect = append(c.expect, expectOK(&viol.Mutex, &viol.mismatch))
+				continue
+			}
+			if j != 0 && r == 0 {
+				// Hot readers: one hot GET per round, first in the batch,
+				// with the freshness floor loaded before transmission.
+				c.floorAtTx = floor.Load()
+				c.cl.PipeGet(hotKey)
+				fl, last := c.floorAtTx, c.lastHotSeq
+				c.expect = append(c.expect, func(v redis.Value) {
+					var seq uint64
+					intact := false
+					if v.Bulk != nil {
+						seq, intact = checkPattern(v.Bulk, hotKey, 7)
+					}
+					viol.Lock()
+					switch {
+					case v.Bulk == nil:
+						if fl > 0 {
+							viol.stale++ // an acknowledged write vanished
+						}
+					case !intact:
+						viol.torn++
+					case seq < fl:
+						viol.stale++
+					case seq < last:
+						viol.backwards++
+					}
+					viol.Unlock()
+					if seq > c.lastHotSeq {
+						c.lastHotSeq = seq
+					}
+				})
+				continue
+			}
+			// Private single-writer keys: every GET must return exactly the
+			// last SET this client flushed or queued earlier in this batch.
+			opIdx := b*cfg.BatchSize + r
+			key := fmt.Sprintf("k-%s-%d-%d", mode, j, opIdx%cfg.KeysPerClient)
+			if c.setCount[key] == 0 || opIdx%2 == 0 {
+				c.setCount[key]++
+				val := patternValue(c.setCount[key], key, byte(j), cfg.ValueBytes)
+				c.cl.PipeSet(key, val, 0)
+				c.lastVal[key] = val
+				c.expect = append(c.expect, expectOK(&viol.Mutex, &viol.mismatch))
+			} else {
+				want := c.lastVal[key]
+				c.cl.PipeGet(key)
+				c.expect = append(c.expect, func(v redis.Value) {
+					if v.Bulk == nil || !bytes.Equal(v.Bulk, want) {
+						viol.Lock()
+						viol.mismatch++
+						viol.Unlock()
+					}
+				})
+			}
+		}
+		n, err := c.cl.FlushSend()
+		if err != nil {
+			panic(err)
+		}
+		c.pending = n
+	}
+	check := func(j int, c *clientState) {
+		replies, err := c.cl.FlushRecv(c.pending)
+		if err != nil {
+			panic(err)
+		}
+		for i, v := range replies {
+			c.expect[i](v)
+		}
+		if j == 0 {
+			floor.Store(c.hotSeq) // round barrier: the whole batch is applied
+		}
+	}
+
+	before := make([]fabric.NodeStatsSnapshot, rack.Nodes())
+	for i := range before {
+		before[i] = f.Node(i).Stats()
+	}
+	parallel := func(fn func(j int)) {
+		var wg sync.WaitGroup
+		for j := range clients {
+			wg.Add(1)
+			go func(j int) { defer wg.Done(); fn(j) }(j)
+		}
+		wg.Wait()
+	}
+	for b := 0; b < cfg.Batches; b++ {
+		parallel(func(j int) { queue(j, clients[j], b) })
+		parallel(func(j int) { clients[j].sess.serveOne() })
+		parallel(func(j int) { check(j, clients[j]) })
+	}
+	for i := range before {
+		d := f.Node(i).Stats().Delta(before[i])
+		if d.VirtualNS > out.makespanNS {
+			out.makespanNS = d.VirtualNS
+		}
+	}
+
+	totalOps := cfg.Clients * cfg.Batches * cfg.BatchSize
+	if out.makespanNS > 0 {
+		out.opsPerSec = float64(totalOps) / (float64(out.makespanNS) / 1e9)
+	}
+	out.stale = viol.stale
+	out.torn = viol.torn
+	out.backwards = viol.backwards
+	out.mismatch = viol.mismatch
+	for _, c := range clients {
+		c.sess.view.Barrier() // reclaim this phase's replaced blocks
+	}
+	return out
+}
+
+// expectOK returns a checker that counts any non-OK SET reply as a
+// mismatch.
+func expectOK(mu *sync.Mutex, counter *int) func(v redis.Value) {
+	return func(v redis.Value) {
+		if v.IsError() || v.Str != "OK" {
+			mu.Lock()
+			*counter++
+			mu.Unlock()
+		}
+	}
+}

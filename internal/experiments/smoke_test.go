@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEveryExperimentQuickSmoke runs every registered experiment at
+// CI-quick sizes through one table-driven harness and checks the result
+// is well-formed: a name, at least one table row, and finite ratios.
+// The per-experiment shape tests assert domain claims; this test is the
+// registry-level guarantee that nothing ships an experiment that panics,
+// returns an empty table, or emits NaN ratios in -quick mode.
+func TestEveryExperimentQuickSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() *Result
+	}{
+		{"fig4", func() *Result {
+			cfg := DefaultFig4()
+			cfg.Requests = 60
+			return Fig4(cfg)
+		}},
+		{"container", func() *Result {
+			cfg := DefaultContainer()
+			cfg.ImageBytes = 8 << 20
+			return Container(cfg)
+		}},
+		{"sync", func() *Result {
+			cfg := DefaultSync()
+			cfg.Ops = 120
+			return SyncAblation(cfg)
+		}},
+		{"pagecache", func() *Result {
+			cfg := DefaultPageCache()
+			cfg.Files, cfg.PagesPer = 2, 8
+			return PageCacheAblation(cfg)
+		}},
+		{"faultbox", func() *Result {
+			cfg := DefaultFaultBox()
+			cfg.AppCounts = []int{2}
+			return FaultBoxAblation(cfg)
+		}},
+		{"ipc", func() *Result {
+			cfg := DefaultIPC()
+			cfg.Rounds = 60
+			return IPCAblation(cfg)
+		}},
+		{"dedup", func() *Result {
+			return DedupAblation(DefaultDedup())
+		}},
+		{"density", func() *Result {
+			cfg := DefaultDensity()
+			cfg.Invokes = 30
+			return DensityAblation(cfg)
+		}},
+		{"sched", func() *Result {
+			cfg := DefaultSched()
+			cfg.Tasks = 60
+			cfg.CrashTasks = 12
+			return SchedAblation(cfg)
+		}},
+		{"redisrack", func() *Result {
+			cfg := DefaultRedisRack()
+			cfg.Batches = 30
+			cfg.LatencyOps = 20
+			res, failed := RedisRack(cfg)
+			if failed {
+				t.Error("redisrack reported failure in smoke sizes")
+			}
+			return res
+		}},
+		{"trace", func() *Result {
+			cfg := DefaultTrace()
+			cfg.EmitEvents = 5_000
+			cfg.Tasks = 60
+			cfg.FSOps = 30
+			res, failed := Trace(cfg)
+			if failed {
+				t.Error("trace experiment reported failure in smoke sizes")
+			}
+			return res
+		}},
+		{"torture", func() *Result {
+			cfg := DefaultTorture()
+			cfg.Seeds = []int64{1}
+			cfg.OpsPerClient = 60
+			cfg.Events = 2
+			res, failures := Torture(cfg)
+			if len(failures) > 0 {
+				t.Errorf("torture smoke failed %d sweep(s)", len(failures))
+			}
+			return res
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res := tc.run()
+			if res == nil {
+				t.Fatal("nil result")
+			}
+			if res.Name == "" {
+				t.Error("empty result name")
+			}
+			if res.Table == nil || res.Table.NumRows() == 0 {
+				t.Error("empty result table")
+			}
+			if res.String() == "" {
+				t.Error("empty rendering")
+			}
+			for k, v := range res.Ratios {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("ratio %q is %v", k, v)
+				}
+			}
+		})
+	}
+}
+
+// TestRedisRackBenchHeadline pins the machine-readable contract behind
+// flacbench -bench-json: the redisrack result must publish a Bench with
+// positive throughput and ordered percentiles.
+func TestRedisRackBenchHeadline(t *testing.T) {
+	cfg := DefaultRedisRack()
+	cfg.Batches = 30
+	cfg.LatencyOps = 20
+	res, failed := RedisRack(cfg)
+	if failed {
+		t.Fatal("redisrack failed at smoke sizes")
+	}
+	b := res.Bench
+	if b == nil {
+		t.Fatal("redisrack result has no Bench headline")
+	}
+	if b.Name != "redisrack" {
+		t.Errorf("bench name %q", b.Name)
+	}
+	if b.OpsPerSec <= 0 {
+		t.Errorf("ops/s %v", b.OpsPerSec)
+	}
+	if b.P50NS <= 0 || b.P99NS < b.P50NS {
+		t.Errorf("percentiles p50=%v p99=%v", b.P50NS, b.P99NS)
+	}
+}

@@ -1,0 +1,88 @@
+package ds
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHashMapExchange(t *testing.T) {
+	f := rack(t, 2, 4)
+	m := NewHashMap(f, 64)
+	n0, n1 := f.Node(0), f.Node(1)
+
+	// Exchange never inserts.
+	if _, existed := m.Exchange(n0, 7, 100); existed {
+		t.Fatal("Exchange inserted into an absent key")
+	}
+	if _, ok := m.Get(n0, 7); ok {
+		t.Fatal("absent key became present")
+	}
+
+	m.Put(n0, 7, 1)
+	prev, existed := m.Exchange(n1, 7, 2)
+	if !existed || prev != 1 {
+		t.Fatalf("Exchange = (%d, %v), want (1, true)", prev, existed)
+	}
+	if v, _ := m.Get(n0, 7); v != 2 {
+		t.Fatalf("value after Exchange = %d", v)
+	}
+
+	// After a Delete, Exchange sees the key as absent again.
+	m.Delete(n0, 7)
+	if _, existed := m.Exchange(n1, 7, 9); existed {
+		t.Fatal("Exchange resurrected a deleted key")
+	}
+}
+
+// TestHashMapExchangeUniquePrev is the property the rack-shared Redis
+// store builds its reclamation on: when N racing Exchanges replace the
+// same key, every one of them receives a DISTINCT previous value, so
+// each displaced object gets exactly one owner to retire it.
+func TestHashMapExchangeUniquePrev(t *testing.T) {
+	const (
+		workers = 8
+		each    = 200
+	)
+	f := rack(t, 4, 8)
+	m := NewHashMap(f, 64)
+	m.Put(f.Node(0), 1, 0)
+
+	var wg sync.WaitGroup
+	prevs := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := f.Node(w % f.NumNodes())
+			for i := 0; i < each; i++ {
+				// Values unique per (worker, i), all below 2^63.
+				val := uint64(w*each+i) + 1
+				prev, existed := m.Exchange(n, 1, val)
+				if !existed {
+					t.Errorf("worker %d: bound key reported absent", w)
+					return
+				}
+				prevs[w] = append(prevs[w], prev)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := map[uint64]bool{}
+	for w, ps := range prevs {
+		for _, p := range ps {
+			if seen[p] {
+				t.Fatalf("worker %d: previous value %d handed out twice", w, p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != workers*each {
+		t.Fatalf("distinct prevs = %d, want %d", len(seen), workers*each)
+	}
+	// The one value never returned as a prev is the current occupant.
+	cur, ok := m.Get(f.Node(0), 1)
+	if !ok || seen[cur] {
+		t.Fatalf("final value %d (present %v) was also handed out as a prev", cur, ok)
+	}
+}

@@ -164,6 +164,46 @@ func (m *HashMap) PutIfAbsent(n *fabric.Node, key, value uint64) (actual uint64,
 	panic(fmt.Sprintf("ds: HashMap full (capacity %d)", m.capacity))
 }
 
+// Exchange atomically replaces key's value and returns the previous one,
+// but only if the key is already present — unlike Put it never inserts.
+// It is the update primitive for protocols that bind a slot to a key once
+// (with PutIfAbsent) and thereafter replace the value unconditionally:
+// every racing Exchange receives a distinct previous value, so exactly one
+// owner exists for each replaced object (the property the rack-shared
+// Redis store relies on to retire old value blocks exactly once).
+func (m *HashMap) Exchange(n *fabric.Node, key, value uint64) (prev uint64, existed bool) {
+	checkKey(key)
+	if value >= 1<<63 {
+		panic("ds: HashMap value must be below 2^63")
+	}
+	enc := value<<1 | 1
+	for i, probes := mix(key)&(m.capacity-1), uint64(0); probes < m.capacity; i, probes = (i+1)&(m.capacity-1), probes+1 {
+		k := n.AtomicLoad64(m.keyG(i))
+		if k == 0 {
+			return 0, false
+		}
+		if k != key {
+			continue
+		}
+		for {
+			v := n.AtomicLoad64(m.valueG(i))
+			if v&1 == 0 {
+				if n.AtomicLoad64(m.keyG(i)) != key {
+					break // concurrently tombstoned: resume probing
+				}
+				// The inserting node claimed the key but has not published
+				// its value: the key is not yet readable, so linearize the
+				// Exchange before the insert and report it absent.
+				return 0, false
+			}
+			if n.CAS64(m.valueG(i), v, enc) {
+				return v >> 1, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // CompareAndSwap replaces key's value with new only if it currently equals
 // old. It returns false if the key is absent or the value differs. Both
 // values must be below 2^63.

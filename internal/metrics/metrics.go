@@ -233,6 +233,10 @@ func NewTable(header ...string) *Table { return &Table{header: header} }
 // AddRow appends one row; cells beyond the header width are dropped.
 func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
 
+// NumRows returns how many rows have been added (tests assert every
+// experiment produced a non-empty table).
+func (t *Table) NumRows() int { return len(t.rows) }
+
 // String renders the table with space-aligned columns.
 func (t *Table) String() string {
 	width := make([]int, len(t.header))

@@ -3,6 +3,7 @@ package redis
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -12,6 +13,9 @@ type Client struct {
 	conn Conn
 	buf  []byte
 	out  []byte
+
+	pipe  []byte // commands queued by Pipe* since the last Flush
+	pipeN int
 }
 
 // NewClient wraps an established connection.
@@ -96,6 +100,88 @@ func (c *Client) recvReply() (Value, error) {
 		return Value{}, errors.New(v.Str)
 	}
 	return v, nil
+}
+
+// PipeCommand queues one command without sending it. Flush transmits the
+// whole queue as ONE message and collects the replies in order — one
+// transport round trip for N commands, which is how the rack-shared
+// serving experiments amortize fabric latency (the server executes the
+// batch with ExecuteBatch).
+func (c *Client) PipeCommand(args ...[]byte) {
+	c.pipe = AppendCommand(c.pipe, args...)
+	c.pipeN++
+}
+
+// PipeSet queues a SET (ttl 0 = no expiry).
+func (c *Client) PipeSet(key string, value []byte, ttl time.Duration) {
+	if ttl > 0 {
+		c.PipeCommand([]byte("SET"), []byte(key), value,
+			[]byte("EX"), []byte(strconv.Itoa(int(ttl.Seconds()))))
+		return
+	}
+	c.PipeCommand([]byte("SET"), []byte(key), value)
+}
+
+// PipeGet queues a GET.
+func (c *Client) PipeGet(key string) { c.PipeCommand([]byte("GET"), []byte(key)) }
+
+// Pending returns how many commands are queued for the next Flush.
+func (c *Client) Pending() int { return c.pipeN }
+
+// Flush sends the queued pipeline and returns the replies in queue order.
+// Per-command errors come back as respError Values (check v.Kind); a
+// transport or framing failure returns a non-nil error and poisons the
+// batch. The returned Values alias the client's receive buffer and are
+// only valid until the next operation.
+func (c *Client) Flush() ([]Value, error) {
+	n, err := c.FlushSend()
+	if err != nil {
+		return nil, err
+	}
+	return c.FlushRecv(n)
+}
+
+// FlushSend transmits the queued pipeline without waiting for replies,
+// returning how many commands were sent. Deterministic harnesses use the
+// FlushSend/FlushRecv split to run the server's turn in between.
+func (c *Client) FlushSend() (int, error) {
+	n := c.pipeN
+	if n == 0 {
+		return 0, nil
+	}
+	err := c.conn.Send(c.pipe)
+	c.pipe = c.pipe[:0]
+	c.pipeN = 0
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// FlushRecv receives one batched reply message and decodes exactly n
+// replies from it.
+func (c *Client) FlushRecv(n int) ([]Value, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	got, err := c.conn.Recv(c.buf)
+	if err != nil {
+		return nil, err
+	}
+	replies := make([]Value, 0, n)
+	rest := c.buf[:got]
+	for len(rest) > 0 {
+		v, used, err := Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+		replies = append(replies, v)
+		rest = rest[used:]
+	}
+	if len(replies) != n {
+		return nil, fmt.Errorf("redis: pipeline sent %d commands, got %d replies", n, len(replies))
+	}
+	return replies, nil
 }
 
 // Ping checks the connection.

@@ -1,0 +1,580 @@
+package redis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/alloc"
+	"flacos/internal/flacdk/ds"
+	"flacos/internal/flacdk/quiescence"
+	"flacos/internal/trace"
+)
+
+// RackStore is the rack-shared Redis keyspace: keys and values live in the
+// offset-addressed global arena, so EVERY node's server executes commands
+// against the same dataset — the paper's headline workload (Fig. 4) served
+// the way §3 intends, through coordinated OS sharing rather than a
+// per-node Go heap.
+//
+// Layout and coherence protocol:
+//
+//   - The index is a flacdk/ds.HashMap mapping a salted 64-bit key hash to
+//     the global address of an immutable entry block.
+//   - Entry blocks (header | key bytes | value bytes) come from
+//     flacdk/alloc. A writer fills the block through its cache, WRITES THE
+//     LINES BACK explicitly, and only then publishes the address with a
+//     fabric atomic — so by the time any node can observe the pointer, the
+//     bytes are in home memory. Readers invalidate the block's lines
+//     before reading. No hardware coherence is assumed anywhere.
+//   - Entries are never modified in place. SET/DEL/INCR publish a fresh
+//     block and retire the old one through flacdk/quiescence, whose grace
+//     period guarantees no reader still holds the old address when its
+//     memory is reused (§3.2's multi-version + epoch reclamation).
+//   - DEL publishes a "deleted" entry (a marker block still carrying the
+//     key) instead of removing the index slot. A slot is therefore bound
+//     to one key forever, which keeps the salted-probe protocol
+//     linearizable: probes stop at the first slot bound to the key, and
+//     that binding can never change underneath a concurrent operation.
+//   - TTL deadlines are stored inline as absolute values of the rack's
+//     SHARED virtual clock (one word in global memory), so "expired" is a
+//     rack-wide deterministic fact: a key expired on node A is expired on
+//     node B by construction, not by clock luck.
+//
+// IMPORTANT: nothing in an entry block may be a Go pointer — blocks live
+// in simulated global memory addressed by fabric.GPtr offsets, and another
+// node (or a restarted one) has no way to interpret a host pointer. Keys
+// and values are stored as raw bytes; the index stores offsets.
+type RackStore struct {
+	fab   *fabric.Fabric
+	index *ds.HashMap
+	arena *alloc.Arena
+	dom   *quiescence.Domain
+
+	clockG fabric.GPtr // shared virtual clock, ns (one word, fabric atomics only)
+	liveG  fabric.GPtr // live-key count (Redis DBSIZE semantics)
+
+	mu       sync.Mutex
+	nextView int
+	maxViews int
+}
+
+// RackStoreConfig sizes the shared store. Zero values get defaults sized
+// for tests and CI-scale experiments.
+type RackStoreConfig struct {
+	// Slots is the index capacity. A slot is bound to a key forever (DEL
+	// leaves a marker), so size for the number of DISTINCT keys ever
+	// stored, not the live count. Default 1<<15.
+	Slots uint64
+	// MaxViews bounds concurrently attached views (quiescence participant
+	// slots). Views are not recycled — a crashed node's replacement view
+	// consumes a fresh slot — so leave headroom for reattach churn.
+	// Default 128.
+	MaxViews int
+	// Arena optionally shares an existing allocator arena (core passes the
+	// kernel object arena). Nil allocates a private one of ArenaBytes.
+	Arena *alloc.Arena
+	// ArenaBytes sizes the private arena when Arena is nil. Default 32 MiB.
+	ArenaBytes uint64
+}
+
+func (c *RackStoreConfig) fillDefaults() {
+	if c.Slots == 0 {
+		c.Slots = 1 << 15
+	}
+	if c.MaxViews == 0 {
+		c.MaxViews = 128
+	}
+	if c.ArenaBytes == 0 {
+		c.ArenaBytes = 32 << 20
+	}
+}
+
+// Entry block layout (all little-endian, immutable once published):
+//
+//	[0:4)   key length
+//	[4:8)   value length, or delMarker for a deleted entry
+//	[8:16)  expiry deadline in shared-virtual-clock ns (0 = no TTL)
+//	[16:16+klen)        key bytes
+//	[16+klen:16+klen+vlen) value bytes
+const (
+	entryHdrSize = 16
+	delMarker    = ^uint32(0)
+)
+
+// MaxEntryBytes bounds key length + value length per entry (the allocator's
+// largest size class minus the header).
+const MaxEntryBytes = alloc.MaxAlloc - entryHdrSize
+
+// maxProbeSalts bounds the salted-rehash chain walked on a full 64-bit
+// hash collision between distinct keys. Chains longer than one slot need
+// a 64-bit collision, two need a pair of them; running out is treated
+// like index exhaustion (a sizing error), not limped through.
+const maxProbeSalts = 16
+
+// NewRackStore lays the store out in f's global memory.
+func NewRackStore(f *fabric.Fabric, cfg RackStoreConfig) *RackStore {
+	cfg.fillDefaults()
+	ar := cfg.Arena
+	if ar == nil {
+		ar = alloc.NewArena(f, cfg.ArenaBytes)
+	}
+	return &RackStore{
+		fab:      f,
+		index:    ds.NewHashMap(f, cfg.Slots),
+		arena:    ar,
+		dom:      quiescence.NewDomain(f, cfg.MaxViews),
+		clockG:   f.Reserve(fabric.LineSize, fabric.LineSize),
+		liveG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		maxViews: cfg.MaxViews,
+	}
+}
+
+// Now reads the shared virtual clock from node n.
+func (s *RackStore) Now(n *fabric.Node) uint64 { return n.AtomicLoad64(s.clockG) }
+
+// AdvanceClock moves the shared virtual clock forward by d (from node n)
+// and returns the new time. The clock is one global-memory word advanced
+// with fabric atomics, so every node observes the same timeline — TTL
+// expiry is a rack-wide deterministic event.
+func (s *RackStore) AdvanceClock(n *fabric.Node, d time.Duration) uint64 {
+	if d <= 0 {
+		return s.Now(n)
+	}
+	return n.Add64(s.clockG, uint64(d.Nanoseconds()))
+}
+
+// Attach creates node n's handle on the shared store. A View is bound to
+// ONE goroutine at a time (it owns a quiescence participant and a per-node
+// allocator, neither of which is concurrency-safe); attach one per server
+// session or client worker. Views of a crashed node must be abandoned:
+// FenceView the old id from any live node and Attach a fresh one.
+func (s *RackStore) Attach(n *fabric.Node) *View {
+	s.mu.Lock()
+	id := s.nextView
+	s.nextView++
+	s.mu.Unlock()
+	if id >= s.maxViews {
+		panic(fmt.Sprintf("redis: RackStore view capacity exhausted (%d); size RackStoreConfig.MaxViews for attach churn", s.maxViews))
+	}
+	return &View{
+		s:  s,
+		n:  n,
+		na: s.arena.NodeAllocator(n, 0),
+		p:  s.dom.Participant(n, id),
+		id: id,
+	}
+}
+
+// FenceView clears a dead view's quiescence reservation on its behalf,
+// acting from live node n. A view that dies inside a read section would
+// otherwise stall epoch advance — and with it value-block reclamation —
+// rack-wide. The fenced view must never be used again.
+func (s *RackStore) FenceView(n *fabric.Node, id int) { s.dom.Fence(n, id) }
+
+// Len returns the live key count as seen from node n. Like real Redis,
+// keys whose TTL has passed count until they are lazily purged by a later
+// write to the same key.
+func (s *RackStore) Len(n *fabric.Node) int { return int(n.AtomicLoad64(s.liveG)) }
+
+// View is one worker's attachment to the RackStore. It implements Backend,
+// so a redis.Server can execute commands directly against the shared
+// dataset from any node. Not safe for concurrent use — one per goroutine.
+type View struct {
+	s  *RackStore
+	n  *fabric.Node
+	na *alloc.NodeAllocator
+	p  *quiescence.Participant
+	id int
+	tw *trace.Writer
+
+	ops uint64
+}
+
+// ID returns the view's participant slot (for FenceView after a crash).
+func (v *View) ID() int { return v.id }
+
+// Node returns the fabric node this view runs on.
+func (v *View) Node() *fabric.Node { return v.n }
+
+// Store returns the shared store this view is attached to.
+func (v *View) Store() *RackStore { return v.s }
+
+// SetTrace attaches a flight-recorder writer; SET and GET then emit
+// begin/end spans (subsystem "redis", arg0 = key hash, arg1 = bytes).
+func (v *View) SetTrace(w *trace.Writer) { v.tw = w }
+
+// Now reads the shared virtual clock.
+func (v *View) Now() uint64 { return v.s.Now(v.n) }
+
+// AdvanceClock moves the shared virtual clock forward by d.
+func (v *View) AdvanceClock(d time.Duration) uint64 { return v.s.AdvanceClock(v.n, d) }
+
+// tick amortizes epoch maintenance over the op stream: every 64th
+// operation tries to advance the global epoch and collects any of this
+// view's retired blocks whose grace period has elapsed.
+func (v *View) tick() {
+	v.ops++
+	if v.ops&63 == 0 {
+		v.p.TryAdvance()
+		v.p.Collect()
+	}
+}
+
+// Barrier forces full reclamation of everything this view has retired
+// (tests and teardown; not a hot-path call).
+func (v *View) Barrier() { v.p.Barrier() }
+
+// AllocStats returns this view's allocator counters (tests assert that
+// replaced entries actually return to the free lists).
+func (v *View) AllocStats() (allocs, frees uint64) { return v.na.Stats() }
+
+// keyHash is FNV-1a finalized with splitmix64 — the same mixing the ds
+// layer applies to slot indices, applied here to whole key strings.
+func keyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// slotKey derives the index key for probe step salt, avoiding the ds
+// layer's two reserved values.
+func slotKey(h uint64, salt int) uint64 {
+	k := h
+	if salt > 0 {
+		k = mix64(h + uint64(salt)*0x9e3779b97f4a7c15)
+	}
+	if k == 0 || k == ^uint64(0) {
+		k = 0x2545f4914f6cdd1d
+	}
+	return k
+}
+
+type entryHdr struct {
+	klen, vlen uint32
+	exp        uint64
+}
+
+func (h entryHdr) deleted() bool { return h.vlen == delMarker }
+
+// liveLen returns the value length for a live entry (0 for deleted).
+func (h entryHdr) liveLen() uint32 {
+	if h.deleted() {
+		return 0
+	}
+	return h.vlen
+}
+
+// readHeader fetches an entry's header with fresh lines. Entry blocks are
+// immutable and fully written back before publication, so invalidating
+// then reading always observes the published bytes; the invalidate only
+// guards against stale lines from a previous residency of the block.
+func (v *View) readHeader(e fabric.GPtr) entryHdr {
+	v.n.InvalidateRange(e, entryHdrSize)
+	var b [entryHdrSize]byte
+	v.n.Read(e, b[:])
+	return entryHdr{
+		klen: binary.LittleEndian.Uint32(b[0:]),
+		vlen: binary.LittleEndian.Uint32(b[4:]),
+		exp:  binary.LittleEndian.Uint64(b[8:]),
+	}
+}
+
+// readBody fetches the key and value bytes following an entry's header.
+func (v *View) readBody(e fabric.GPtr, hdr entryHdr) (key, value []byte) {
+	total := uint64(hdr.klen) + uint64(hdr.liveLen())
+	if total == 0 {
+		return nil, nil
+	}
+	v.n.InvalidateRange(e.Add(entryHdrSize), total)
+	buf := make([]byte, total)
+	v.n.Read(e.Add(entryHdrSize), buf)
+	return buf[:hdr.klen], buf[hdr.klen:]
+}
+
+// keyMatches reports whether entry e is bound to key.
+func (v *View) keyMatches(e fabric.GPtr, hdr entryHdr, key string) bool {
+	if int(hdr.klen) != len(key) {
+		return false
+	}
+	if hdr.klen == 0 {
+		return true
+	}
+	v.n.InvalidateRange(e.Add(entryHdrSize), uint64(hdr.klen))
+	kb := make([]byte, hdr.klen)
+	v.n.Read(e.Add(entryHdrSize), kb)
+	return string(kb) == key
+}
+
+// newEntry writes an immutable entry block and pushes its lines to home
+// memory. The block is unpublished: the caller owns it until a successful
+// publish (and must na.Free it directly on a lost race — no grace period
+// is needed for a block no reader ever saw).
+func (v *View) newEntry(key string, value []byte, exp uint64, deleted bool) fabric.GPtr {
+	total := entryHdrSize + len(key) + len(value)
+	blk := v.na.AllocUninit(uint64(total))
+	buf := make([]byte, total)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(key)))
+	if deleted {
+		binary.LittleEndian.PutUint32(buf[4:], delMarker)
+	} else {
+		binary.LittleEndian.PutUint32(buf[4:], uint32(len(value)))
+	}
+	binary.LittleEndian.PutUint64(buf[8:], exp)
+	copy(buf[entryHdrSize:], key)
+	copy(buf[entryHdrSize+len(key):], value)
+	v.n.Write(blk, buf)
+	v.n.WriteBackRange(blk, uint64(total))
+	return blk
+}
+
+// retire schedules an unpublished-from-now block for reclamation once no
+// concurrent reader can still hold its address.
+func (v *View) retire(e fabric.GPtr) {
+	na := v.na
+	v.p.Retire(func() { na.Free(e) })
+}
+
+// expired reports whether hdr's TTL deadline has passed on the shared
+// clock. now is loaded lazily (most entries carry no TTL).
+func (v *View) expired(hdr entryHdr) bool {
+	return hdr.exp != 0 && v.Now() >= hdr.exp
+}
+
+func (v *View) addLive(delta int64) { v.n.Add64(v.s.liveG, uint64(delta)) }
+
+// probeResult is one resolved slot for a key.
+type probeResult struct {
+	sk    uint64      // index key of the slot bound to key
+	entry fabric.GPtr // current entry (Nil if the slot is absent)
+	hdr   entryHdr
+}
+
+// probe walks the salted-hash chain until it finds the slot bound to key
+// or the first absent slot (entry Nil: the key has never been stored; sk
+// is where an insert would bind it). Must run inside a read section.
+func (v *View) probe(key string) probeResult {
+	h := keyHash(key)
+	for salt := 0; salt < maxProbeSalts; salt++ {
+		sk := slotKey(h, salt)
+		ev, ok := v.s.index.Get(v.n, sk)
+		if !ok {
+			return probeResult{sk: sk, entry: fabric.Nil}
+		}
+		e := fabric.GPtr(ev)
+		hdr := v.readHeader(e)
+		if v.keyMatches(e, hdr, key) {
+			return probeResult{sk: sk, entry: e, hdr: hdr}
+		}
+	}
+	panic(fmt.Sprintf("redis: RackStore salted-probe chain exhausted for key %q (%d 64-bit hash collisions?!); size Slots up", key, maxProbeSalts))
+}
+
+// checkSizes validates an entry's payload against the allocator's largest
+// size class.
+func checkSizes(key string, value []byte) error {
+	if len(key)+len(value) > MaxEntryBytes {
+		return fmt.Errorf("redis: key+value %d bytes exceeds the rack store's %d-byte entry limit", len(key)+len(value), MaxEntryBytes)
+	}
+	return nil
+}
+
+// Set stores key -> value with an optional TTL (0 means no expiry),
+// visible to every node's view as soon as it returns.
+func (v *View) Set(key string, value []byte, ttl time.Duration) error {
+	if err := checkSizes(key, value); err != nil {
+		return err
+	}
+	if v.tw != nil {
+		h := keyHash(key)
+		v.tw.Begin(trace.SubRedis, trace.KSet, h, uint64(len(value)))
+		defer v.tw.End(trace.SubRedis, trace.KSet, h, uint64(len(value)))
+	}
+	exp := uint64(0)
+	if ttl > 0 {
+		exp = v.Now() + uint64(ttl.Nanoseconds())
+	}
+	blk := v.newEntry(key, value, exp, false)
+	prev, prevDeleted := v.publish(key, blk)
+	if !prev.IsNil() {
+		v.retire(prev)
+	}
+	if prev.IsNil() || prevDeleted {
+		v.addLive(1)
+	}
+	v.tick()
+	return nil
+}
+
+// publish installs blk as key's entry, returning the displaced entry (Nil
+// on a fresh insert) and whether it was a deleted marker. Every racing
+// publish receives a distinct previous entry (ds.HashMap.Exchange's
+// contract), so each old block is retired exactly once.
+func (v *View) publish(key string, blk fabric.GPtr) (prev fabric.GPtr, prevDeleted bool) {
+	v.p.Enter()
+	defer v.p.Exit()
+	for {
+		pr := v.probe(key)
+		if pr.entry.IsNil() {
+			if _, inserted := v.s.index.PutIfAbsent(v.n, pr.sk, uint64(blk)); inserted {
+				return fabric.Nil, false
+			}
+			continue // lost the bind race; re-probe (the winner may be another key)
+		}
+		old, existed := v.s.index.Exchange(v.n, pr.sk, uint64(blk))
+		if !existed {
+			continue
+		}
+		oe := fabric.GPtr(old)
+		// The displaced entry may differ from the probed one (a concurrent
+		// writer published in between), but slot binding is permanent, so
+		// it is OUR key's entry and we own retiring it.
+		return oe, v.readHeader(oe).deleted()
+	}
+}
+
+// Get returns the value for key. A key whose TTL deadline has passed on
+// the shared clock is a miss on every node, deterministically.
+func (v *View) Get(key string) ([]byte, bool) {
+	var (
+		val []byte
+		ok  bool
+	)
+	if v.tw != nil {
+		h := keyHash(key)
+		v.tw.Begin(trace.SubRedis, trace.KGet, h, 0)
+		defer func() { v.tw.End(trace.SubRedis, trace.KGet, h, uint64(len(val))) }()
+	}
+	v.p.Enter()
+	pr := v.probe(key)
+	if !pr.entry.IsNil() && !pr.hdr.deleted() && !v.expired(pr.hdr) {
+		_, val = v.readBody(pr.entry, pr.hdr)
+		ok = true
+	}
+	v.p.Exit()
+	v.tick()
+	return val, ok
+}
+
+// Exists reports how many of the keys exist (live and unexpired).
+func (v *View) Exists(keys ...string) int {
+	n := 0
+	v.p.Enter()
+	for _, key := range keys {
+		pr := v.probe(key)
+		if !pr.entry.IsNil() && !pr.hdr.deleted() && !v.expired(pr.hdr) {
+			n++
+		}
+	}
+	v.p.Exit()
+	v.tick()
+	return n
+}
+
+// Del removes keys, returning how many existed (live and unexpired).
+func (v *View) Del(keys ...string) int {
+	ndel := 0
+	for _, key := range keys {
+		if v.del1(key) {
+			ndel++
+		}
+	}
+	return ndel
+}
+
+func (v *View) del1(key string) bool {
+	v.p.Enter()
+	pr := v.probe(key)
+	if pr.entry.IsNil() || pr.hdr.deleted() {
+		v.p.Exit()
+		v.tick()
+		return false
+	}
+	// The key is (or recently was) live: publish a deleted marker. The
+	// marker keeps the slot's key binding intact — mandatory for probe
+	// linearizability — at the cost of one small block per deleted key.
+	dblk := v.newEntry(key, nil, 0, true)
+	old, existed := v.s.index.Exchange(v.n, pr.sk, uint64(dblk))
+	v.p.Exit()
+	if !existed {
+		// Unreachable once a slot is bound (bindings are permanent), but
+		// reclaim the marker rather than leak it.
+		v.na.Free(dblk)
+		v.tick()
+		return false
+	}
+	oe := fabric.GPtr(old)
+	ohdr := v.readHeader(oe)
+	wasLive := !ohdr.deleted()
+	wasUnexpired := wasLive && !v.expired(ohdr)
+	v.retire(oe)
+	if wasLive {
+		v.addLive(-1)
+	}
+	v.tick()
+	return wasUnexpired
+}
+
+// Incr atomically increments the integer stored at key, returning the new
+// value; missing (or expired) keys start at 0. The TTL of a live key is
+// preserved, like real Redis.
+func (v *View) Incr(key string) (int64, error) {
+	for {
+		v.p.Enter()
+		pr := v.probe(key)
+		cur := int64(0)
+		exp := uint64(0)
+		if !pr.entry.IsNil() && !pr.hdr.deleted() && !v.expired(pr.hdr) {
+			_, val := v.readBody(pr.entry, pr.hdr)
+			parsed, err := strconv.ParseInt(string(val), 10, 64)
+			if err != nil {
+				v.p.Exit()
+				v.tick()
+				return 0, err
+			}
+			cur = parsed
+			exp = pr.hdr.exp
+		}
+		next := cur + 1
+		nblk := v.newEntry(key, []byte(strconv.FormatInt(next, 10)), exp, false)
+		if pr.entry.IsNil() {
+			if _, inserted := v.s.index.PutIfAbsent(v.n, pr.sk, uint64(nblk)); inserted {
+				v.p.Exit()
+				v.addLive(1)
+				v.tick()
+				return next, nil
+			}
+		} else if v.s.index.CompareAndSwap(v.n, pr.sk, uint64(pr.entry), uint64(nblk)) {
+			v.p.Exit()
+			v.retire(pr.entry)
+			if pr.hdr.deleted() {
+				v.addLive(1)
+			}
+			v.tick()
+			return next, nil
+		}
+		// Lost the race to a concurrent writer: our block was never
+		// published, free it directly and retry against the fresh state.
+		v.p.Exit()
+		v.na.Free(nblk)
+	}
+}
+
+// Len returns the live key count (Redis DBSIZE; expired-but-unpurged keys
+// count, as in the original store).
+func (v *View) Len() int { return v.s.Len(v.n) }

@@ -1,0 +1,255 @@
+package redis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Linearizability tests for the rack-shared store: concurrent multi-node
+// clients record SET/GET/DEL/INCR histories and check them with the same
+// committed-floor style the torture workloads use. Run under -race (CI
+// does); the views themselves are per-goroutine, the STORE is the shared
+// object under test.
+
+// TestRackStoreLinearizableSingleWriter drives one writer per key (on a
+// round-robin node) against readers on every node. Every read must
+// observe a sequence >= the floor committed before the read began and
+// a payload fully consistent with that sequence.
+func TestRackStoreLinearizableSingleWriter(t *testing.T) {
+	const (
+		nodes   = 3
+		keys    = 6
+		writes  = 300
+		readers = 6
+	)
+	f, s := newTestRackStore(t, nodes, RackStoreConfig{MaxViews: 32})
+
+	var floors [keys]atomic.Uint64
+	val := func(k int, seq uint64) []byte {
+		b := make([]byte, 48)
+		binary.LittleEndian.PutUint64(b, seq)
+		for i := 8; i < len(b); i++ {
+			b[i] = byte(seq*7 + uint64(k)*3 + uint64(i))
+		}
+		return b
+	}
+	checkVal := func(k int, b []byte) (uint64, bool) {
+		if len(b) != 48 {
+			return 0, false
+		}
+		seq := binary.LittleEndian.Uint64(b)
+		for i := 8; i < len(b); i++ {
+			if b[i] != byte(seq*7+uint64(k)*3+uint64(i)) {
+				return seq, false
+			}
+		}
+		return seq, true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v := s.Attach(f.Node(k % nodes))
+			key := fmt.Sprintf("lin%d", k)
+			for seq := uint64(1); seq <= writes; seq++ {
+				if err := v.Set(key, val(k, seq), 0); err != nil {
+					fail("set %s seq %d: %v", key, seq, err)
+					return
+				}
+				floors[k].Store(seq)
+			}
+		}(k)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := s.Attach(f.Node(r % nodes))
+			last := [keys]uint64{}
+			for i := 0; i < writes; i++ {
+				k := (r + i) % keys
+				key := fmt.Sprintf("lin%d", k)
+				floor := floors[k].Load()
+				b, ok := v.Get(key)
+				if !ok {
+					if floor > 0 {
+						fail("reader %d: %s vanished (floor %d)", r, key, floor)
+						return
+					}
+					continue
+				}
+				seq, intact := checkVal(k, b)
+				switch {
+				case !intact:
+					fail("reader %d: %s torn at seq %d", r, key, seq)
+					return
+				case seq < floor:
+					fail("reader %d: %s stale: read %d after committed %d", r, key, seq, floor)
+					return
+				case seq < last[k]:
+					fail("reader %d: %s went backwards: %d after %d", r, key, seq, last[k])
+					return
+				}
+				last[k] = seq
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRackStoreLinearizableIncr hammers one counter from every node.
+// INCR is atomic, so the returned values must be exactly 1..N*M with no
+// duplicate and no gap, in any order.
+func TestRackStoreLinearizableIncr(t *testing.T) {
+	const (
+		nodes   = 3
+		workers = 6
+		each    = 200
+	)
+	f, s := newTestRackStore(t, nodes, RackStoreConfig{MaxViews: 16})
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := s.Attach(f.Node(w % nodes))
+			for i := 0; i < each; i++ {
+				got, err := v.Incr("shared-ctr")
+				if err != nil {
+					t.Errorf("worker %d incr: %v", w, err)
+					return
+				}
+				results[w] = append(results[w], got)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for w, rs := range results {
+		prev := int64(0)
+		for _, got := range rs {
+			if got <= prev {
+				t.Fatalf("worker %d: non-increasing INCR results %d then %d", w, prev, got)
+			}
+			if seen[got] {
+				t.Fatalf("duplicate INCR result %d", got)
+			}
+			seen[got] = true
+			prev = got
+		}
+	}
+	if len(seen) != workers*each {
+		t.Fatalf("got %d distinct results, want %d", len(seen), workers*each)
+	}
+	v := s.Attach(f.Node(0))
+	if got, err := v.Incr("shared-ctr"); err != nil || got != workers*each+1 {
+		t.Fatalf("final count %d (err %v), want %d", got, err, workers*each+1)
+	}
+}
+
+// TestRackStoreLinearizableSetDel alternates SET and DEL on shared keys
+// from different nodes while readers check that hits are never stale:
+// the writer publishes a floor (seq, and whether a miss is currently
+// legal) BEFORE each destructive op, so any hit must carry seq >= floor
+// and a miss is a violation only while mayMiss is off.
+func TestRackStoreLinearizableSetDel(t *testing.T) {
+	const (
+		nodes  = 3
+		rounds = 200
+	)
+	f, s := newTestRackStore(t, nodes, RackStoreConfig{MaxViews: 16})
+
+	// floorWord packs (seq<<1 | mayMiss) so readers load it atomically.
+	var floorWord atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := s.Attach(f.Node(0))
+		for seq := uint64(1); seq <= rounds; seq++ {
+			b := make([]byte, 16)
+			binary.LittleEndian.PutUint64(b, seq)
+			binary.LittleEndian.PutUint64(b[8:], ^seq)
+			if err := v.Set("flap", b, 0); err != nil {
+				fail("set: %v", err)
+				return
+			}
+			floorWord.Store(seq << 1) // committed: visible, at least seq
+			// A DEL is coming: misses become legal before it can land.
+			floorWord.Store(seq<<1 | 1)
+			if n := v.Del("flap"); n != 1 {
+				fail("del of just-set key returned %d", n)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := s.Attach(f.Node(r % nodes))
+			for i := 0; i < rounds; i++ {
+				w0 := floorWord.Load()
+				b, ok := v.Get("flap")
+				if !ok {
+					if w0 != 0 && w0&1 == 0 {
+						fail("reader %d: miss while floor said visible (seq %d)", r, w0>>1)
+						return
+					}
+					continue
+				}
+				if len(b) != 16 {
+					fail("reader %d: torn len %d", r, len(b))
+					return
+				}
+				seq := binary.LittleEndian.Uint64(b)
+				if binary.LittleEndian.Uint64(b[8:]) != ^seq {
+					fail("reader %d: torn payload at seq %d", r, seq)
+					return
+				}
+				if seq < w0>>1 {
+					fail("reader %d: stale hit %d, floor %d", r, seq, w0>>1)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Quiescent: the last round ended with DEL, so the key must be gone
+	// and the live count zero.
+	v := s.Attach(f.Node(1))
+	if _, ok := v.Get("flap"); ok {
+		t.Fatal("key visible after final DEL")
+	}
+	if n := v.Len(); n != 0 {
+		t.Fatalf("Len = %d after final DEL, want 0", n)
+	}
+}

@@ -1,0 +1,309 @@
+package redis
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/alloc"
+)
+
+func newTestRackStore(t *testing.T, nodes int, cfg RackStoreConfig) (*fabric.Fabric, *RackStore) {
+	t.Helper()
+	f := fabric.New(fabric.Config{
+		GlobalSize: 64 << 20,
+		Nodes:      nodes,
+		Latency:    fabric.DefaultLatency(),
+	})
+	if cfg.ArenaBytes == 0 {
+		cfg.ArenaBytes = 16 << 20
+	}
+	return f, NewRackStore(f, cfg)
+}
+
+// --- rack-shared store: cross-node visibility ---
+
+func TestRackStoreCrossNodeSetGet(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{})
+	a, b := s.Attach(f.Node(0)), s.Attach(f.Node(1))
+
+	// Node 0 writes, node 1 reads — through global memory, no coherence.
+	for _, size := range []int{0, 1, 7, 64, 255, 4096, 60000} {
+		key := fmt.Sprintf("k%d", size)
+		val := make([]byte, size)
+		for i := range val {
+			val[i] = byte(i * 3)
+		}
+		if err := a.Set(key, val, 0); err != nil {
+			t.Fatalf("set %s: %v", key, err)
+		}
+		got, ok := b.Get(key)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("get %s from node 1: ok=%v len=%d want %d", key, ok, len(got), len(val))
+		}
+	}
+
+	// Overwrite from node 1, read back from node 0.
+	if err := b.Set("k64", []byte("fresh"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := a.Get("k64"); !ok || string(got) != "fresh" {
+		t.Fatalf("node 0 read after node 1 overwrite: %q ok=%v", got, ok)
+	}
+}
+
+func TestRackStoreMissAndEmpty(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{})
+	v := s.Attach(f.Node(0))
+	if _, ok := v.Get("nope"); ok {
+		t.Fatal("get of never-set key hit")
+	}
+	// Empty key and empty value are both legal.
+	if err := v.Set("", []byte{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.Get("")
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty key/value: got %v ok=%v", got, ok)
+	}
+}
+
+func TestRackStoreOversizeRejected(t *testing.T) {
+	f, s := newTestRackStore(t, 1, RackStoreConfig{})
+	v := s.Attach(f.Node(0))
+	if err := v.Set("big", make([]byte, MaxEntryBytes+1), 0); err == nil {
+		t.Fatal("oversize Set accepted")
+	}
+	if err := v.Set("big", make([]byte, MaxEntryBytes-3), 0); err != nil {
+		t.Fatalf("max-size Set rejected: %v", err)
+	}
+}
+
+func TestRackStoreDelExistsLen(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{})
+	a, b := s.Attach(f.Node(0)), s.Attach(f.Node(1))
+
+	for i := 0; i < 10; i++ {
+		if err := a.Set(fmt.Sprintf("d%d", i), []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := b.Len(); n != 10 {
+		t.Fatalf("Len from node 1 = %d, want 10", n)
+	}
+	if n := b.Exists("d0", "d5", "nope"); n != 2 {
+		t.Fatalf("Exists = %d, want 2", n)
+	}
+	// Delete from the OTHER node; the first node must observe it.
+	if n := b.Del("d0", "d1", "nope"); n != 2 {
+		t.Fatalf("Del = %d, want 2", n)
+	}
+	if _, ok := a.Get("d0"); ok {
+		t.Fatal("node 0 still sees key deleted by node 1")
+	}
+	if n := a.Len(); n != 8 {
+		t.Fatalf("Len after del = %d, want 8", n)
+	}
+	// Delete of a deleted key is 0; re-SET resurrects the same slot.
+	if n := a.Del("d0"); n != 0 {
+		t.Fatalf("double del = %d, want 0", n)
+	}
+	if err := a.Set("d0", []byte("back"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Get("d0"); !ok || string(got) != "back" {
+		t.Fatalf("resurrected key: %q ok=%v", got, ok)
+	}
+	if n := b.Len(); n != 9 {
+		t.Fatalf("Len after resurrect = %d, want 9", n)
+	}
+}
+
+func TestRackStoreIncr(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{})
+	a, b := s.Attach(f.Node(0)), s.Attach(f.Node(1))
+	for i := int64(1); i <= 5; i++ {
+		// Alternate nodes; the counter is one rack-wide integer.
+		v := a
+		if i%2 == 0 {
+			v = b
+		}
+		got, err := v.Incr("ctr")
+		if err != nil || got != i {
+			t.Fatalf("incr %d: got %d err=%v", i, got, err)
+		}
+	}
+	if err := a.Set("notanum", []byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Incr("notanum"); err == nil {
+		t.Fatal("Incr of non-integer succeeded")
+	}
+}
+
+// --- TTL: the rack-wide shared-clock bugfix ---
+
+// TestRackStoreTTLExpiryRackWide is the regression test for the
+// node-local-clock bug: a key expired on node A must be expired on node
+// B. The store's TTLs are deadlines on ONE shared virtual clock, so
+// expiry is the same event everywhere, deterministically.
+func TestRackStoreTTLExpiryRackWide(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{})
+	a, b := s.Attach(f.Node(0)), s.Attach(f.Node(1))
+
+	if err := a.Set("lease", []byte("v"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("keep", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []*View{a, b} {
+		if _, ok := v.Get("lease"); !ok {
+			t.Fatal("unexpired key missing")
+		}
+	}
+	// Advance the SHARED clock from node B; expiry must hit both nodes.
+	b.AdvanceClock(11 * time.Second)
+	if _, ok := a.Get("lease"); ok {
+		t.Fatal("key expired on the shared clock still visible on node A")
+	}
+	if _, ok := b.Get("lease"); ok {
+		t.Fatal("key expired on the shared clock still visible on node B")
+	}
+	if _, ok := b.Get("keep"); !ok {
+		t.Fatal("no-TTL key expired")
+	}
+	// Expired keys are dead for EXISTS and DEL (DEL returns 0) too.
+	if n := a.Exists("lease"); n != 0 {
+		t.Fatalf("Exists on expired = %d", n)
+	}
+	if n := b.Del("lease"); n != 0 {
+		t.Fatalf("Del on expired = %d, want 0", n)
+	}
+	// A fresh SET with a new TTL starts a new lease.
+	if err := b.Set("lease", []byte("v2"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := a.Get("lease"); !ok || string(got) != "v2" {
+		t.Fatalf("re-leased key: %q ok=%v", got, ok)
+	}
+	// Incr preserves a live key's TTL, like real Redis.
+	if err := a.Set("n", []byte("41"), 100*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.Incr("n"); err != nil || got != 42 {
+		t.Fatalf("incr with ttl: %d %v", got, err)
+	}
+	a.AdvanceClock(101 * time.Second)
+	if _, ok := b.Get("n"); ok {
+		t.Fatal("TTL lost across Incr: key did not expire")
+	}
+}
+
+// --- reclamation: replaced blocks actually return to the allocator ---
+
+func TestRackStoreReclaimsReplacedValues(t *testing.T) {
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 1, Latency: fabric.DefaultLatency()})
+	ar := alloc.NewArena(f, 16<<20)
+	s := NewRackStore(f, RackStoreConfig{Arena: ar})
+	v := s.Attach(f.Node(0))
+	val := make([]byte, 128)
+	for i := 0; i < 500; i++ {
+		if err := v.Set("churn", val, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Barrier()
+	allocs, frees := v.AllocStats()
+	if frees == 0 {
+		t.Fatalf("no replaced entry was ever freed (allocs=%d)", allocs)
+	}
+	// Everything but the one live entry must be back in the free lists.
+	if allocs-frees > 2 {
+		t.Fatalf("leak: allocs=%d frees=%d", allocs, frees)
+	}
+}
+
+// --- server/client over the rack store: batch pipeline end to end ---
+
+func TestServerPipelineOverRackStore(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{})
+	srv := NewServer(s.Attach(f.Node(0)))
+
+	cconn, sconn := newPipePair()
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ServeConn(sconn, 0) }()
+
+	cl := NewClient(cconn, 0)
+	cl.PipeSet("a", []byte("1"), 0)
+	cl.PipeSet("b", []byte("2"), 0)
+	cl.PipeGet("a")
+	cl.PipeCommand([]byte("INCR"), []byte("n"))
+	cl.PipeGet("missing")
+	replies, err := cl.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 5 {
+		t.Fatalf("replies = %d, want 5", len(replies))
+	}
+	if replies[0].Str != "OK" || replies[1].Str != "OK" {
+		t.Fatalf("set replies: %+v %+v", replies[0], replies[1])
+	}
+	if string(replies[2].Bulk) != "1" {
+		t.Fatalf("pipelined get: %+v", replies[2])
+	}
+	if replies[3].Int != 1 {
+		t.Fatalf("pipelined incr: %+v", replies[3])
+	}
+	if replies[4].Bulk != nil {
+		t.Fatalf("pipelined miss: %+v", replies[4])
+	}
+	// The same dataset is visible to a second server session on the OTHER
+	// node, through plain (non-pipelined) commands.
+	srv2 := NewServer(s.Attach(f.Node(1)))
+	if resp := srv2.Execute(AppendCommand(nil, []byte("GET"), []byte("b"))); !bytes.Contains(resp, []byte("2")) {
+		t.Fatalf("node 1 server reply: %q", resp)
+	}
+	// An oversize SET surfaces as a RESP error, not a dropped write.
+	cl.PipeSet("big", make([]byte, MaxEntryBytes+1), 0)
+	replies, err = cl.Flush()
+	if err != nil || len(replies) != 1 {
+		t.Fatalf("oversize flush: %v (%d replies)", err, len(replies))
+	}
+	if !replies[0].IsError() {
+		t.Fatalf("oversize SET reply: %+v", replies[0])
+	}
+	cconn.Close()
+	<-done
+}
+
+// newPipePair returns two in-memory Conn halves (host-side, for protocol
+// tests that don't need the fabric transport).
+func newPipePair() (*pipeConn, *pipeConn) {
+	ab, ba := make(chan []byte, 16), make(chan []byte, 16)
+	return &pipeConn{send: ab, recv: ba}, &pipeConn{send: ba, recv: ab}
+}
+
+type pipeConn struct {
+	send, recv chan []byte
+}
+
+func (p *pipeConn) Send(msg []byte) error {
+	cp := append([]byte(nil), msg...)
+	defer func() { recover() }() // closed peer
+	p.send <- cp
+	return nil
+}
+
+func (p *pipeConn) Recv(buf []byte) (int, error) {
+	msg, ok := <-p.recv
+	if !ok {
+		return 0, fmt.Errorf("closed")
+	}
+	return copy(buf, msg), nil
+}
+
+func (p *pipeConn) Close() { close(p.send) }

@@ -15,30 +15,48 @@ type Conn interface {
 	Close()
 }
 
-// Server executes commands against a Store.
+// Backend is the keyspace a server executes against. Two implementations:
+// the single-node *Store (Go map behind a mutex) and the rack-shared
+// *View (the global-arena store, one view per server session, same
+// dataset from every node).
+type Backend interface {
+	Set(key string, value []byte, ttl time.Duration) error
+	Get(key string) ([]byte, bool)
+	Del(keys ...string) int
+	Exists(keys ...string) int
+	Incr(key string) (int64, error)
+	Len() int
+}
+
+// Server executes commands against a Backend.
 type Server struct {
-	store *Store
+	store Backend
 }
 
 // NewServer creates a server over store.
-func NewServer(store *Store) *Server { return &Server{store: store} }
+func NewServer(store Backend) *Server { return &Server{store: store} }
 
 // Store returns the server's keyspace.
-func (s *Server) Store() *Store { return s.store }
+func (s *Server) Store() Backend { return s.store }
 
-// ServeConn runs one session: decode command, execute, reply, until the
-// connection closes. Run it in a goroutine per accepted connection.
+// ServeConn runs one session: decode commands, execute, reply, until the
+// connection closes. Run it in a goroutine per accepted connection. Each
+// received message is executed as a BATCH: a pipelining client packs N
+// commands per Send, the server drains all of them and replies with the
+// concatenated replies in one Send — one transport round trip, N store
+// operations, the amortization the fig4/redisrack experiments measure.
 func (s *Server) ServeConn(c Conn, bufSize int) {
 	if bufSize <= 0 {
 		bufSize = 64 << 10
 	}
 	req := make([]byte, bufSize)
+	var resp []byte
 	for {
 		n, err := c.Recv(req)
 		if err != nil {
 			return
 		}
-		resp := s.Execute(req[:n])
+		resp = s.ExecuteBatch(resp[:0], req[:n])
 		if err := c.Send(resp); err != nil {
 			return
 		}
@@ -48,61 +66,86 @@ func (s *Server) ServeConn(c Conn, bufSize int) {
 // Execute runs one RESP-encoded command and returns the RESP reply.
 func (s *Server) Execute(req []byte) []byte {
 	v, _, err := Decode(req)
-	if err != nil || v.Kind != respArray || len(v.Array) == 0 {
+	if err != nil {
 		return AppendError(nil, "ERR protocol error")
+	}
+	return s.executeValue(nil, v)
+}
+
+// ExecuteBatch runs every RESP command packed in req, appending the
+// replies to out in order. A decode error poisons the remainder of the
+// batch (the stream boundary is lost) but replies already produced stand.
+func (s *Server) ExecuteBatch(out, req []byte) []byte {
+	for len(req) > 0 {
+		v, n, err := Decode(req)
+		if err != nil {
+			return AppendError(out, "ERR protocol error")
+		}
+		out = s.executeValue(out, v)
+		req = req[n:]
+	}
+	return out
+}
+
+// executeValue executes one decoded command, appending its reply to out.
+func (s *Server) executeValue(out []byte, v Value) []byte {
+	if v.Kind != respArray || len(v.Array) == 0 {
+		return AppendError(out, "ERR protocol error")
 	}
 	args := v.Array
 	for _, a := range args {
 		if a.Kind != respBulk {
-			return AppendError(nil, "ERR protocol error: expected bulk string")
+			return AppendError(out, "ERR protocol error: expected bulk string")
 		}
 	}
 	cmd := strings.ToUpper(string(args[0].Bulk))
 	switch cmd {
 	case "PING":
-		return AppendSimple(nil, "PONG")
+		return AppendSimple(out, "PONG")
 	case "SET":
 		if len(args) < 3 {
-			return AppendError(nil, "ERR wrong number of arguments for 'set'")
+			return AppendError(out, "ERR wrong number of arguments for 'set'")
 		}
 		ttl := time.Duration(0)
 		if len(args) == 5 && strings.EqualFold(string(args[3].Bulk), "EX") {
 			secs, err := strconv.Atoi(string(args[4].Bulk))
 			if err != nil {
-				return AppendError(nil, "ERR invalid expire time")
+				return AppendError(out, "ERR invalid expire time")
 			}
 			ttl = time.Duration(secs) * time.Second
 		}
-		s.store.Set(string(args[1].Bulk), args[2].Bulk, ttl)
-		return AppendSimple(nil, "OK")
+		if err := s.store.Set(string(args[1].Bulk), args[2].Bulk, ttl); err != nil {
+			return AppendError(out, "ERR "+err.Error())
+		}
+		return AppendSimple(out, "OK")
 	case "GET":
 		if len(args) != 2 {
-			return AppendError(nil, "ERR wrong number of arguments for 'get'")
+			return AppendError(out, "ERR wrong number of arguments for 'get'")
 		}
 		val, ok := s.store.Get(string(args[1].Bulk))
 		if !ok {
-			return AppendBulk(nil, nil)
+			return AppendBulk(out, nil)
 		}
-		return AppendBulk(nil, val)
+		return AppendBulk(out, val)
 	case "DEL":
 		keys := bulkKeys(args[1:])
-		return AppendInt(nil, int64(s.store.Del(keys...)))
+		return AppendInt(out, int64(s.store.Del(keys...)))
 	case "EXISTS":
 		keys := bulkKeys(args[1:])
-		return AppendInt(nil, int64(s.store.Exists(keys...)))
+		return AppendInt(out, int64(s.store.Exists(keys...)))
 	case "INCR":
 		if len(args) != 2 {
-			return AppendError(nil, "ERR wrong number of arguments for 'incr'")
+			return AppendError(out, "ERR wrong number of arguments for 'incr'")
 		}
 		v, err := s.store.Incr(string(args[1].Bulk))
 		if err != nil {
-			return AppendError(nil, "ERR value is not an integer or out of range")
+			return AppendError(out, "ERR value is not an integer or out of range")
 		}
-		return AppendInt(nil, v)
+		return AppendInt(out, v)
 	case "DBSIZE":
-		return AppendInt(nil, int64(s.store.Len()))
+		return AppendInt(out, int64(s.store.Len()))
 	}
-	return AppendError(nil, "ERR unknown command '"+cmd+"'")
+	return AppendError(out, "ERR unknown command '"+cmd+"'")
 }
 
 func bulkKeys(args []Value) []string {

@@ -6,9 +6,12 @@ import (
 	"time"
 )
 
-// Store is the server's keyspace: string keys to byte values with optional
-// expiry, guarded by a mutex exactly like real Redis's single-threaded
-// command execution (one logical executor).
+// Store is the single-node keyspace: string keys to byte values with
+// optional expiry, guarded by a mutex exactly like real Redis's
+// single-threaded command execution (one logical executor). Its expiry
+// clock is NODE-LOCAL — fine for one node, but a rack serving one
+// dataset needs the shared-virtual-clock TTLs of RackStore, where
+// expiry is the same event on every node.
 type Store struct {
 	mu      sync.Mutex
 	data    map[string][]byte
@@ -41,8 +44,10 @@ func (s *Store) expiredLocked(key string) bool {
 	return false
 }
 
-// Set stores key -> value with an optional TTL (0 means no expiry).
-func (s *Store) Set(key string, value []byte, ttl time.Duration) {
+// Set stores key -> value with an optional TTL (0 means no expiry). The
+// error is always nil; the signature matches Backend, where the
+// rack-shared implementation can reject oversized entries.
+func (s *Store) Set(key string, value []byte, ttl time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cp := make([]byte, len(value))
@@ -53,6 +58,7 @@ func (s *Store) Set(key string, value []byte, ttl time.Duration) {
 	} else {
 		delete(s.expires, key)
 	}
+	return nil
 }
 
 // Get returns the value for key.

@@ -330,7 +330,7 @@ func ClearBreaks() {
 
 // Workloads returns the registered workload set, in fixed order.
 func Workloads() []Workload {
-	return []Workload{newDSWorkload(), newSchedWorkload(), newFSWorkload(), newMemsysWorkload()}
+	return []Workload{newDSWorkload(), newSchedWorkload(), newFSWorkload(), newMemsysWorkload(), newRedisWorkload()}
 }
 
 // ByName returns the named workload, or nil.

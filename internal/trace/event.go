@@ -19,6 +19,7 @@ const (
 	SubServerless
 	SubTorture
 	SubApp
+	SubRedis
 	numSubsys
 )
 
@@ -38,6 +39,8 @@ func (s Subsys) String() string {
 		return "torture"
 	case SubApp:
 		return "app"
+	case SubRedis:
+		return "redis"
 	}
 	return fmt.Sprintf("sub(%d)", uint8(s))
 }
@@ -71,6 +74,9 @@ const (
 	KFault
 	// app: free-form marks from tests and experiments.
 	KMark
+	// redis: arg0 = 64-bit key hash.
+	KSet // begin/end: one rack-store SET round trip; arg1 = value bytes
+	KGet // begin/end: one rack-store GET round trip; arg1 = value bytes (0 on miss)
 	numKinds
 )
 
@@ -108,6 +114,10 @@ func (k Kind) String() string {
 		return "fault"
 	case KMark:
 		return "mark"
+	case KSet:
+		return "set"
+	case KGet:
+		return "get"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
