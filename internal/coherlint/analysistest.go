@@ -1,0 +1,81 @@
+package coherlint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// wantSpec is one expected diagnostic: a regexp that must match a
+// diagnostic message reported on its line.
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRx = regexp.MustCompile("// want((?: +(?:`[^`]*`|\"[^\"]*\"))+)")
+var wantArgRx = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// collectWants extracts the "// want `regexp`" expectations from a
+// loaded package's comments, in the style of x/tools' analysistest: the
+// expectation applies to the line the comment sits on, and a line may
+// carry several.
+func collectWants(pkgs []*Package) ([]*wantSpec, error) {
+	var wants []*wantSpec
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRx.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, arg := range wantArgRx.FindAllString(m[1], -1) {
+						re, err := regexp.Compile(arg[1 : len(arg)-1])
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						}
+						wants = append(wants, &wantSpec{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// checkCorpus compares diagnostics against expectations and returns a
+// list of mismatches (unexpected diagnostics and unmatched wants).
+func checkCorpus(diags []Diagnostic, wants []*wantSpec) []string {
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, "unexpected diagnostic: "+d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q",
+				shortPath(w.file), w.line, w.re.String()))
+		}
+	}
+	return problems
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "/testdata/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

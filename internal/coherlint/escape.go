@@ -1,0 +1,228 @@
+package coherlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// EscapeAnalyzer enforces rule 1 of the coherence contract: no Go
+// pointer — and nothing containing one — may enter the offset-addressed
+// arena. A host pointer stored into global memory is garbage to every
+// other node and to a restarted incarnation of this one, and it hides
+// a Go allocation from the garbage collector's liveness reasoning the
+// moment the local reference dies. Two fronts:
+//
+//   - layout: every type annotated //flac:shared must be flat — fixed
+//     words, bytes and arrays all the way down. Pointers, slices, maps,
+//     strings, channels, funcs and interfaces are rejected field by
+//     field.
+//
+//   - dataflow: a value derived from unsafe.Pointer (or a uintptr
+//     conversion of a pointer) must never reach a fabric write or
+//     atomic-store argument, directly or through local assignments.
+//
+// It also rejects malformed //flac: and //flacvet: directives: an
+// annotation with a typo silently enforces nothing, which is worse than
+// no annotation.
+var EscapeAnalyzer = &Analyzer{
+	Name: "arena-pointer-escape",
+	Doc:  "Go pointer (or pointer-bearing layout) written into the global arena",
+	Run:  runEscape,
+}
+
+func runEscape(pass *Pass) error {
+	an := parseAnnotations(pass)
+	for _, bd := range an.bad {
+		pass.Reportf(bd.Pos, "%s", bd.Msg)
+	}
+	for obj, a := range an.byType {
+		if !a.Shared {
+			continue
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		checkSharedLayout(pass, tn)
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPointerFlow(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSharedLayout verifies a //flac:shared type is flat, reporting
+// each pointer-bearing field at its declaration.
+func checkSharedLayout(pass *Pass, tn *types.TypeName) {
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		if why := pointerIn(tn.Type().Underlying(), nil); why != "" {
+			pass.Reportf(tn.Pos(), "//flac:shared type %s is not a flat arena layout: %s", tn.Name(), why)
+		}
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if why := pointerIn(f.Type(), nil); why != "" {
+			pass.Reportf(f.Pos(),
+				"field %s of //flac:shared type %s carries a Go pointer into the arena: %s",
+				f.Name(), tn.Name(), why)
+		}
+	}
+}
+
+// pointerIn returns a human explanation if t contains any pointer-like
+// component, or "" when t is flat. seen breaks type cycles.
+func pointerIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.String, types.UntypedString:
+			return "string headers point into the Go heap"
+		case types.UnsafePointer:
+			return "unsafe.Pointer is a Go pointer"
+		case types.Uintptr:
+			// A uintptr field is legal layout-wise (it is just a word),
+			// and GPtr offsets are the sanctioned way to reference arena
+			// data; the dataflow check catches pointers laundered
+			// through uintptr conversions.
+			return ""
+		}
+		return ""
+	case *types.Pointer:
+		return fmt.Sprintf("*%s is a Go pointer", u.Elem())
+	case *types.Slice:
+		return "slice headers point into the Go heap"
+	case *types.Map:
+		return "maps live in the Go heap"
+	case *types.Chan:
+		return "channels live in the Go heap"
+	case *types.Signature:
+		return "func values point at Go code and closures"
+	case *types.Interface:
+		return "interface values carry Go pointers"
+	case *types.Array:
+		return pointerIn(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if why := pointerIn(f.Type(), seen); why != "" {
+				return fmt.Sprintf("field %s: %s", f.Name(), why)
+			}
+		}
+		return ""
+	}
+	return fmt.Sprintf("%s cannot be laid out in the arena", t)
+}
+
+// checkPointerFlow walks one function body in source order tracking
+// which local variables hold pointer-derived words, and reports any
+// such value reaching a fabric plain-write or atomic-store argument.
+// Source-order taint is a may-analysis: branches union naturally.
+func checkPointerFlow(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	tainted := map[types.Object]ast.Expr{} // var -> the laundering expression
+	exprTainted := func(e ast.Expr) ast.Expr {
+		var found ast.Expr
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.Ident:
+				if obj := info.Uses[x]; obj != nil {
+					if src, ok := tainted[obj]; ok {
+						found = src
+					}
+				}
+			case *ast.CallExpr:
+				if isPointerLaundering(info, x) {
+					found = x
+				}
+			}
+			return true
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(x.Rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if src := exprTainted(x.Rhs[i]); src != nil {
+					tainted[obj] = src
+				} else {
+					delete(tainted, obj)
+				}
+			}
+		case *ast.CallExpr:
+			cls, name := classifyCall(info, x)
+			if cls != opPlainWrite && cls != opAtomicPub && cls != opAtomicAdd {
+				return true
+			}
+			// Arg 0 is the destination GPtr; everything after is payload.
+			for _, a := range x.Args[1:] {
+				if src := exprTainted(a); src != nil {
+					pass.Reportf(a.Pos(),
+						"Go pointer escapes into the arena: argument of fabric %s derives from the unsafe conversion at %s; no other node (nor a restarted this-node) can interpret a host pointer",
+						name, pass.Fset.Position(src.Pos()))
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPointerLaundering recognizes the conversions that turn a Go pointer
+// into a storable word: unsafe.Pointer(p) and uintptr(p)/uint64-of-
+// pointer chains.
+func isPointerLaundering(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || (dst.Kind() != types.Uintptr && dst.Kind() != types.UnsafePointer) {
+		return false
+	}
+	argT := info.Types[call.Args[0]].Type
+	if argT == nil {
+		return false
+	}
+	switch u := argT.Underlying().(type) {
+	case *types.Pointer:
+		return true
+	case *types.Basic:
+		// uintptr(someUintptr) is innocent arithmetic; only a chain that
+		// started from a real pointer taints, and the taint walker sees
+		// that chain's inner conversion directly.
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+package coherlint
+
+import "go/ast"
+
+// flowState is the per-path abstract state an analyzer threads through a
+// function body. Implementations are mutable; the walker clones at
+// branch points and merges surviving paths at joins.
+type flowState interface {
+	Clone() flowState
+	// MergeFrom folds another surviving path's state into the receiver.
+	MergeFrom(flowState)
+	// ReplaceWith overwrites the receiver with other's facts (used at a
+	// join where every path went through some branch arm, so the
+	// pre-branch state no longer describes any live path).
+	ReplaceWith(flowState)
+}
+
+// flowHooks receives the walker's events in evaluation order, mutating
+// the state in place.
+type flowHooks interface {
+	// Call fires after a call's function and arguments were visited.
+	Call(st flowState, call *ast.CallExpr)
+	// Assign fires for every plain identifier on an assignment's left
+	// side (a kill: the name holds a new value from here on).
+	Assign(st flowState, id *ast.Ident)
+	// Use fires for every identifier read in an expression.
+	Use(st flowState, id *ast.Ident)
+	// FuncLit fires for a function literal in expression position; the
+	// hook decides how to analyze the body (the walker does not descend).
+	FuncLit(st flowState, fl *ast.FuncLit)
+}
+
+// flowWalker drives hooks over a function body with conservative
+// branch handling: if/switch/select arms run on cloned states and merge
+// at the join (arms that terminate — return, panic, break — are
+// excluded); loop bodies are analyzed once and merged with the
+// zero-iteration path. This is deliberately a one-pass approximation,
+// not a fixpoint: the coherence idioms it checks are straight-line
+// write/sync/publish and acquire/invalidate/read sequences.
+type flowWalker struct {
+	hooks flowHooks
+}
+
+// walkBody analyzes a function body from st.
+func (w *flowWalker) walkBody(st flowState, body *ast.BlockStmt) {
+	if body != nil {
+		w.block(st, body.List)
+	}
+}
+
+// block runs stmts in order; returns true if the path terminated.
+func (w *flowWalker) block(st flowState, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if w.stmt(st, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// merge joins the surviving branch states into st. Branches that
+// terminated (returned, panicked, broke) contribute nothing. When there
+// is no fall-through path — every live path went through some arm — st
+// is replaced by the union of the survivors, so obligations satisfied
+// on all arms stay satisfied; with a fall-through path (if without
+// else, loop body that may not run) st itself stays a survivor. If
+// nothing survives at all, the construct terminated.
+func merge(st flowState, states []flowState, terminated []bool, hasFallthroughPath bool) bool {
+	first := true
+	for i, bs := range states {
+		if terminated[i] {
+			continue
+		}
+		if first && !hasFallthroughPath {
+			st.ReplaceWith(bs)
+		} else {
+			st.MergeFrom(bs)
+		}
+		first = false
+	}
+	if first && !hasFallthroughPath {
+		return true // every arm terminated
+	}
+	return false
+}
+
+func (w *flowWalker) stmt(st flowState, s ast.Stmt) (terminated bool) {
+	switch n := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		return w.block(st, n.List)
+	case *ast.ExprStmt:
+		w.expr(st, n.X)
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			w.expr(st, rhs)
+		}
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				w.hooks.Assign(st, id)
+			} else {
+				w.expr(st, lhs) // x[i] = v, x.f = v: x and i are reads
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(st, n.X)
+		if id, ok := n.X.(*ast.Ident); ok {
+			w.hooks.Assign(st, id)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(st, v)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(st, n.Init)
+		w.expr(st, n.Cond)
+		thenSt := st.Clone()
+		thenTerm := w.block(thenSt, n.Body.List)
+		if n.Else != nil {
+			elseSt := st.Clone()
+			elseTerm := w.stmt(elseSt, n.Else)
+			return merge(st, []flowState{thenSt, elseSt}, []bool{thenTerm, elseTerm}, false)
+		}
+		return merge(st, []flowState{thenSt}, []bool{thenTerm}, true)
+	case *ast.ForStmt:
+		w.stmt(st, n.Init)
+		w.expr(st, n.Cond)
+		bodySt := st.Clone()
+		bodyTerm := w.block(bodySt, n.Body.List)
+		if !bodyTerm {
+			w.stmt(bodySt, n.Post)
+		}
+		// Zero-iteration path keeps st; one-pass body merges in. An
+		// infinite loop (no cond) with a terminated body still falls
+		// through here: breaks are modeled as termination, so "for {}"
+		// loops that only exit via break would otherwise vanish.
+		merge(st, []flowState{bodySt}, []bool{bodyTerm}, true)
+	case *ast.RangeStmt:
+		w.expr(st, n.X)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				w.hooks.Assign(st, id)
+			}
+		}
+		bodySt := st.Clone()
+		bodyTerm := w.block(bodySt, n.Body.List)
+		merge(st, []flowState{bodySt}, []bool{bodyTerm}, true)
+	case *ast.SwitchStmt:
+		w.stmt(st, n.Init)
+		w.expr(st, n.Tag)
+		w.caseArms(st, n.Body.List)
+	case *ast.TypeSwitchStmt:
+		w.stmt(st, n.Init)
+		w.stmt(st, n.Assign)
+		w.caseArms(st, n.Body.List)
+	case *ast.SelectStmt:
+		w.caseArms(st, n.Body.List)
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			w.expr(st, e)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this straight-line path. Modeling
+		// them as termination drops their state from joins — see the
+		// walker comment on the approximation.
+		return true
+	case *ast.LabeledStmt:
+		return w.stmt(st, n.Stmt)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Arguments are evaluated now; the call itself runs later (or
+		// concurrently), so its effects must not satisfy obligations on
+		// this path — visit operands, skip the Call hook.
+		var call *ast.CallExpr
+		if d, ok := n.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = n.(*ast.GoStmt).Call
+		}
+		w.expr(st, call.Fun)
+		for _, a := range call.Args {
+			w.expr(st, a)
+		}
+	case *ast.SendStmt:
+		w.expr(st, n.Chan)
+		w.expr(st, n.Value)
+	}
+	return false
+}
+
+// caseArms analyzes switch/select clause bodies, each from a clone of
+// the entry state, merging the survivors. A missing default keeps the
+// entry state as a possible fall-past path.
+func (w *flowWalker) caseArms(st flowState, clauses []ast.Stmt) {
+	var states []flowState
+	var terms []bool
+	hasDefault := false
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.expr(st, e)
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(st, cc.Comm)
+			}
+			body = cc.Body
+		default:
+			continue
+		}
+		armSt := st.Clone()
+		terms = append(terms, w.block(armSt, body))
+		states = append(states, armSt)
+	}
+	merge(st, states, terms, !hasDefault)
+}
+
+// expr visits e in evaluation order, firing Use for identifier reads,
+// FuncLit for closures, and Call after a call's operands.
+func (w *flowWalker) expr(st flowState, e ast.Expr) {
+	switch n := e.(type) {
+	case nil:
+	case *ast.Ident:
+		w.hooks.Use(st, n)
+	case *ast.FuncLit:
+		w.hooks.FuncLit(st, n)
+	case *ast.CallExpr:
+		w.expr(st, n.Fun)
+		for _, a := range n.Args {
+			w.expr(st, a)
+		}
+		w.hooks.Call(st, n)
+	case *ast.SelectorExpr:
+		w.expr(st, n.X)
+	case *ast.BinaryExpr:
+		w.expr(st, n.X)
+		w.expr(st, n.Y)
+	case *ast.UnaryExpr:
+		w.expr(st, n.X)
+	case *ast.StarExpr:
+		w.expr(st, n.X)
+	case *ast.ParenExpr:
+		w.expr(st, n.X)
+	case *ast.IndexExpr:
+		w.expr(st, n.X)
+		w.expr(st, n.Index)
+	case *ast.IndexListExpr:
+		w.expr(st, n.X)
+		for _, i := range n.Indices {
+			w.expr(st, i)
+		}
+	case *ast.SliceExpr:
+		w.expr(st, n.X)
+		w.expr(st, n.Low)
+		w.expr(st, n.High)
+		w.expr(st, n.Max)
+	case *ast.TypeAssertExpr:
+		w.expr(st, n.X)
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			w.expr(st, el)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(st, n.Key)
+		w.expr(st, n.Value)
+	}
+}
+
+// forEachFuncBody applies fn to every function declaration body in the
+// package. Function literals are not visited here; analyzers reach them
+// through their FuncLit hook so closure bodies run in the right context.
+func forEachFuncBody(pass *Pass, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

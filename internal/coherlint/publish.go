@@ -1,0 +1,99 @@
+package coherlint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PublishAnalyzer enforces rule 2 of the coherence contract: a fabric
+// atomic store/CAS/swap publishes data to the rack, so every plain
+// (cached) write since the last write-back must have been pushed to home
+// memory first. A publication that races ahead of its payload hands
+// remote readers a pointer into bytes that exist only in the writer's
+// private cache — the exact torn-publish class the torture harness's
+// dropped-write-back sweeps hunt probabilistically; here it is a build
+// failure.
+var PublishAnalyzer = &Analyzer{
+	Name: "publish-without-writeback",
+	Doc:  "fabric atomic publication with cache-resident plain writes not yet written back",
+	Run:  runPublish,
+}
+
+// pubState tracks the plain writes still cache-resident on this path.
+type pubState struct {
+	pending []pendingWrite
+}
+
+type pendingWrite struct {
+	pos  token.Pos
+	name string
+}
+
+func (s *pubState) Clone() flowState {
+	return &pubState{pending: append([]pendingWrite(nil), s.pending...)}
+}
+
+func (s *pubState) MergeFrom(other flowState) {
+	o := other.(*pubState)
+	seen := map[token.Pos]bool{}
+	for _, w := range s.pending {
+		seen[w.pos] = true
+	}
+	for _, w := range o.pending {
+		if !seen[w.pos] {
+			s.pending = append(s.pending, w)
+		}
+	}
+}
+
+func (s *pubState) ReplaceWith(other flowState) {
+	s.pending = append(s.pending[:0], other.(*pubState).pending...)
+}
+
+type pubHooks struct {
+	pass *Pass
+	w    *flowWalker
+}
+
+func (h *pubHooks) Call(st flowState, call *ast.CallExpr) {
+	s := st.(*pubState)
+	switch cls, name := classifyCall(h.pass.TypesInfo, call); cls {
+	case opPlainWrite:
+		s.pending = append(s.pending, pendingWrite{pos: call.Pos(), name: name})
+	case opWriteBack, opFlush:
+		// The fabric write-back APIs are range- or whole-cache-scoped;
+		// range tracking is beyond this analyzer, so any write-back
+		// discharges the pending set. The contract's idiom — write the
+		// region, write the region back, publish — satisfies this
+		// trivially; code that writes region A, writes back only region
+		// B and publishes A gets past the linter but not the torture
+		// sweeps, which stay in CI for exactly that reason.
+		s.pending = nil
+	case opAtomicPub:
+		if len(s.pending) > 0 {
+			first := s.pending[0]
+			h.pass.Reportf(call.Pos(),
+				"fabric atomic %s publishes while %d plain write(s) since the last write-back are still cache-resident (first: %s at %s); call WriteBackRange/FlushRange before the publishing atomic",
+				name, len(s.pending), first.name, h.pass.Fset.Position(first.pos))
+			s.pending = nil // one report per unsynchronized window
+		}
+	}
+}
+
+func (h *pubHooks) Assign(st flowState, id *ast.Ident) {}
+func (h *pubHooks) Use(st flowState, id *ast.Ident)    {}
+
+func (h *pubHooks) FuncLit(st flowState, fl *ast.FuncLit) {
+	// A closure runs in its own context later; analyze its body from a
+	// clean slate rather than crediting or charging this path.
+	h.w.walkBody(&pubState{}, fl.Body)
+}
+
+func runPublish(pass *Pass) error {
+	hooks := &pubHooks{pass: pass}
+	hooks.w = &flowWalker{hooks: hooks}
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		hooks.w.walkBody(&pubState{}, decl.Body)
+	})
+	return nil
+}

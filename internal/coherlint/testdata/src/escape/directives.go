@@ -1,0 +1,21 @@
+package escape
+
+// Malformed annotations must be diagnostics: a typo'd directive silently
+// enforces nothing, which is worse than no annotation.
+
+//flac:share // want `unknown //flac: directive`
+type misspelled struct{ A uint64 }
+
+//flac:published-by=StoreRelaxed // want `must name a fabric atomic`
+type badPublisher struct{ B uint64 }
+
+//flacvet:suppress arena-pointer-escape // want `unknown //flacvet: directive`
+type badSuppress struct{ C uint64 }
+
+func floating() uint64 {
+	//flac:shared // want `not attached to a type declaration`
+	v := misspelled{A: 1}
+	_ = badPublisher{}
+	_ = badSuppress{}
+	return v.A
+}

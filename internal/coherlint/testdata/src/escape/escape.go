@@ -1,0 +1,79 @@
+// Package escape is flacvet corpus: planted violations of rule 1
+// (arena-pointer-escape) plus clean idioms that must stay silent.
+package escape
+
+import (
+	"unsafe"
+
+	"flacos/internal/fabric"
+)
+
+// header is a correct flat arena layout: fixed words and bytes only.
+//
+//flac:shared
+//flac:published-by=AtomicStore64
+type header struct {
+	Seq  uint64
+	Len  uint32
+	_    uint32
+	Body [48]byte
+}
+
+// offsets is fine too: GPtr and uintptr are plain words in the arena.
+//
+//flac:shared
+type offsets struct {
+	Next fabric.GPtr
+	Raw  uintptr
+	Tbl  [8]fabric.GPtr
+}
+
+// badEntry mixes heap references into an arena layout; every
+// pointer-bearing field is a diagnostic.
+//
+//flac:shared
+type badEntry struct {
+	Seq  uint64
+	Name string            // want `carries a Go pointer`
+	Next *badEntry         // want `carries a Go pointer`
+	Vals []uint64          // want `carries a Go pointer`
+	Meta map[string]uint64 // want `carries a Go pointer`
+	Hook func()            // want `carries a Go pointer`
+	Sub  inner             // want `carries a Go pointer`
+}
+
+// inner is not itself annotated, but it is embedded in badEntry, so its
+// pointer poisons the layout transitively.
+type inner struct{ P *uint64 }
+
+// storePointer launders a stack address through unsafe and writes it
+// into global memory, where it means nothing to any other node.
+func storePointer(n *fabric.Node, g fabric.GPtr) {
+	x := uint64(42)
+	n.Store64(g, uint64(uintptr(unsafe.Pointer(&x)))) // want `Go pointer escapes into the arena`
+}
+
+// storeLaundered does the same through a local variable; the taint must
+// survive the assignment.
+func storeLaundered(n *fabric.Node, g fabric.GPtr) {
+	x := uint64(42)
+	w := uint64(uintptr(unsafe.Pointer(&x)))
+	n.AtomicStore64(g, w) // want `Go pointer escapes into the arena`
+}
+
+// storeClean writes honest data and arena offsets; no diagnostic.
+func storeClean(n *fabric.Node, g, other fabric.GPtr, v uint64) {
+	n.Store64(g, v)
+	n.Store64(g.Add(8), uint64(other))
+	n.WriteBackRange(g, 16)
+}
+
+// retaint shows that overwriting a tainted variable with clean data
+// clears the taint; no diagnostic.
+func retaint(n *fabric.Node, g fabric.GPtr) {
+	x := uint64(7)
+	w := uint64(uintptr(unsafe.Pointer(&x)))
+	w = x + 1
+	n.Store64(g, w)
+	n.WriteBackRange(g, 8)
+}

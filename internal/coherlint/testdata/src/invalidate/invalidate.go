@@ -1,0 +1,97 @@
+// Package invalidate is flacvet corpus: planted violations of rule 3
+// (read-without-invalidate), including the unconditional-skip mirror of
+// the torture harness's SetBrokenSkipPopInvalidate bug, plus the
+// correct consume idioms.
+package invalidate
+
+import "flacos/internal/fabric"
+
+// ring mirrors ds.SPSCRing's layout so the corpus can replay its
+// consume path with the planted bug hard-wired on.
+type ring struct {
+	headG, tailG, slots fabric.GPtr
+	slotSize, capacity  uint64
+}
+
+func (r *ring) slotG(pos uint64) fabric.GPtr {
+	return r.slots.Add((pos & (r.capacity - 1)) * r.slotSize)
+}
+
+// brokenPop is SPSCRing.TryPop with the torture harness's
+// ring-invalidate bug (SetBrokenSkipPopInvalidate) made unconditional:
+// the consumer observes the producer's tail publication but decodes the
+// slot through whatever stale lines its cache still holds.
+func (r *ring) brokenPop(n *fabric.Node, buf []byte) (int, bool) {
+	h := n.AtomicLoad64(r.headG)
+	if h == n.AtomicLoad64(r.tailG) {
+		return 0, false
+	}
+	s := r.slotG(h)
+	ln := n.Load64(s) // want `no dominating InvalidateRange`
+	n.Read(s.Add(8), buf[:ln])
+	n.AtomicStore64(r.headG, h+1)
+	return int(ln), true
+}
+
+// conditionalPop invalidates on only one branch — exactly the shape the
+// torture toggle gives the real ring; the skipping path is the bug.
+func (r *ring) conditionalPop(n *fabric.Node, buf []byte, broken bool) (int, bool) {
+	h := n.AtomicLoad64(r.headG)
+	if h == n.AtomicLoad64(r.tailG) {
+		return 0, false
+	}
+	s := r.slotG(h)
+	if !broken {
+		n.InvalidateRange(s, r.slotSize)
+	}
+	ln := n.Load64(s) // want `no dominating InvalidateRange`
+	n.Read(s.Add(8), buf[:ln])
+	n.AtomicStore64(r.headG, h+1)
+	return int(ln), true
+}
+
+// goodPop is the contract idiom: acquire, invalidate, then decode.
+func (r *ring) goodPop(n *fabric.Node, buf []byte) (int, bool) {
+	h := n.AtomicLoad64(r.headG)
+	if h == n.AtomicLoad64(r.tailG) {
+		return 0, false
+	}
+	s := r.slotG(h)
+	n.InvalidateRange(s, r.slotSize)
+	ln := n.Load64(s)
+	n.Read(s.Add(8), buf[:ln])
+	n.AtomicStore64(r.headG, h+1)
+	return int(ln), true
+}
+
+// goodPopBothBranches invalidates on every path before decoding.
+func (r *ring) goodPopBothBranches(n *fabric.Node, buf []byte, wide bool) (int, bool) {
+	h := n.AtomicLoad64(r.headG)
+	if h == n.AtomicLoad64(r.tailG) {
+		return 0, false
+	}
+	s := r.slotG(h)
+	if wide {
+		n.InvalidateAll()
+	} else {
+		n.InvalidateRange(s, r.slotSize)
+	}
+	ln := n.Load64(s)
+	n.AtomicStore64(r.headG, h+1)
+	return int(ln), true
+}
+
+// readVersioned is the VersionedCell read idiom: atomic acquire of the
+// current version pointer, invalidate, plain read. No diagnostic.
+func readVersioned(n *fabric.Node, headG fabric.GPtr, buf []byte) {
+	cur := fabric.GPtr(n.AtomicLoad64(headG))
+	n.InvalidateRange(cur, uint64(len(buf)))
+	n.Read(cur, buf)
+}
+
+// plainOnly never acquires through a fabric atomic, so its cached reads
+// are private data and need no invalidate. No diagnostic.
+func plainOnly(n *fabric.Node, g fabric.GPtr) uint64 {
+	n.Store64(g, 7)
+	return n.Load64(g)
+}

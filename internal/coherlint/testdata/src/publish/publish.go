@@ -1,0 +1,64 @@
+// Package publish is flacvet corpus: planted violations of rule 2
+// (publish-without-writeback) plus the correct idioms.
+package publish
+
+import "flacos/internal/fabric"
+
+// publishSlot is the broken mirror of a ring push: payload written
+// through the cache, then published with an atomic before any
+// write-back — remote readers chase a tail into bytes that exist only
+// in this node's cache.
+func publishSlot(n *fabric.Node, slot, tail fabric.GPtr, msg []byte) {
+	n.Store64(slot, uint64(len(msg)))
+	n.Write(slot.Add(8), msg)
+	n.AtomicStore64(tail, 1) // want `publishes while 2 plain write`
+}
+
+// publishCAS shows the same hole through a CAS publication.
+func publishCAS(n *fabric.Node, head, entry fabric.GPtr, v uint64) {
+	n.Store64(entry, v)
+	n.CAS64(head, 0, uint64(entry)) // want `publishes while 1 plain write`
+}
+
+// publishConditionalWB only writes back on one branch; the fallthrough
+// path still publishes cache-resident data.
+func publishConditionalWB(n *fabric.Node, head, entry fabric.GPtr, v uint64, sync bool) {
+	n.Store64(entry, v)
+	if sync {
+		n.WriteBackRange(entry, 8)
+	}
+	n.Swap64(head, uint64(entry)) // want `still cache-resident`
+}
+
+// publishGood is the contract idiom: write, write back, publish.
+func publishGood(n *fabric.Node, head, entry fabric.GPtr, v uint64) {
+	n.Store64(entry, v)
+	n.WriteBackRange(entry, 8)
+	n.AtomicStore64(head, uint64(entry))
+}
+
+// publishGoodFlush: a flush both writes back and drops the lines, so it
+// discharges the pending writes too.
+func publishGoodFlush(n *fabric.Node, head, entry fabric.GPtr, v uint64) {
+	n.Store64(entry, v)
+	n.FlushRange(entry, 8)
+	n.CAS64(head, 0, uint64(entry))
+}
+
+// publishGoodBothBranches writes back on every path before publishing.
+func publishGoodBothBranches(n *fabric.Node, head, entry fabric.GPtr, v uint64, wide bool) {
+	n.Store64(entry, v)
+	if wide {
+		n.WriteBackAll()
+	} else {
+		n.WriteBackRange(entry, 8)
+	}
+	n.AtomicStore64(head, uint64(entry))
+}
+
+// atomicOnly publishes data written solely through home-memory atomics;
+// nothing is cache-resident, no diagnostic.
+func atomicOnly(n *fabric.Node, head, entry fabric.GPtr, v uint64) {
+	n.AtomicStore64(entry, v)
+	n.AtomicStore64(head, uint64(entry))
+}

@@ -1,0 +1,13 @@
+package publish
+
+import "flacos/internal/fabric"
+
+// suppressed shows the escape hatch: an accepted violation annotated
+// with //flacvet:ignore and a reason produces no diagnostic. The corpus
+// test would fail on any unexpected diagnostic here, so this also
+// proves suppression works end to end.
+func suppressed(n *fabric.Node, head, entry fabric.GPtr, v uint64) {
+	n.Store64(entry, v)
+	//flacvet:ignore publish-without-writeback corpus: proves the suppression directive works
+	n.AtomicStore64(head, uint64(entry))
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ds
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package ds
+
+// raceEnabled lets the history tests shrink their recorded histories
+// when the race detector multiplies the WGL search cost by an order of
+// magnitude; the interleaving coverage comes from the per-window
+// overlap, not the history length.
+const raceEnabled = true

@@ -96,6 +96,12 @@ func (r *SPSCRing) TryPop(n *fabric.Node, buf []byte) (int, bool) {
 	if !brokenSkipPopInvalidate.Load() {
 		n.InvalidateRange(s, r.slotSize)
 	}
+	// The invalidate above is conditional ONLY because the torture
+	// harness plants its removal as a self-test bug (-torture-break
+	// ring-invalidate); flacvet correctly sees a path without it. The
+	// unconditional-skip variant lives in coherlint's testdata corpus,
+	// where the linter must (and does) flag it.
+	//flacvet:ignore read-without-invalidate torture-only broken path, see SetBrokenSkipPopInvalidate
 	ln := n.Load64(s)
 	if ln > uint64(len(buf)) {
 		panic(fmt.Sprintf("ds: buffer %d too small for message %d", len(buf), ln))

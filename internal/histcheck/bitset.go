@@ -1,0 +1,41 @@
+package histcheck
+
+// bitset tracks which operations the current search path has
+// linearized; its hash buckets the memoization cache.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equals(o bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mix64 is the splitmix64 finalizer. The checker keeps a running hash
+// of the linearized set as the XOR of mix64(id) over its members, so
+// set/clear update it in O(1) instead of rehashing the whole set on
+// every linearization attempt; equals stays the exact tie-breaker.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

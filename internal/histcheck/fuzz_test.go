@@ -1,0 +1,68 @@
+package histcheck
+
+import "testing"
+
+// FuzzHistcheck feeds the checker hostile histories — overlapping,
+// inverted, duplicated and nonsensical intervals against both models —
+// and requires it to return a verdict without panicking or diverging.
+// Histories are decoded from raw bytes, 8 per operation, capped at 16
+// operations so even a fully-overlapping adversarial history keeps the
+// WGL search space (2^n linearized-sets x tiny state space) bounded.
+func FuzzHistcheck(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 2, 0, 0, 0, 0})
+	f.Add([]byte{
+		1, 0, 5, 1, 3, 0, 1, 0, // SET k0=5 in [1,3]
+		0, 0, 5, 1, 2, 4, 0, 0, // GET k0 -> (5,true) in [2,4]
+		3, 1, 0, 0, 9, 5, 1, 1, // INCR k1 inverted interval [9,5]
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxOps = 16
+		var kvOps, qOps []Operation
+		for i := 0; i+8 <= len(data) && len(kvOps) < maxOps; i += 8 {
+			b := data[i : i+8]
+			call := int64(b[4])
+			ret := int64(b[5]) // may precede call: the checker must cope
+			kvOps = append(kvOps, Operation{
+				Client: int(b[7] % 4),
+				Input: KVInput{
+					Op:  KVOp(b[0] % 5), // includes one out-of-range op
+					Key: string(rune('a' + b[1]%3)),
+					Val: uint64(b[2]),
+				},
+				Output: KVOutput{Val: uint64(b[2] % 4), Found: b[3]&1 == 1},
+				Call:   call,
+				Return: ret,
+			})
+			qOps = append(qOps, Operation{
+				Client: int(b[7] % 4),
+				Input:  QueueInput{Op: QueueOp(b[0] % 3), Val: uint64(b[2] % 8)},
+				Output: QueueOutput{Val: uint64(b[3] % 8), OK: b[6]&1 == 1},
+				Call:   call,
+				Return: ret,
+			})
+		}
+		// Both verdicts are acceptable; panics and hangs are not.
+		res := Check(KVModel(), kvOps)
+		if !res.Ok && res.Info == "" {
+			t.Fatal("KV rejection with empty Info")
+		}
+		res = Check(QueueModel(), qOps)
+		if !res.Ok && res.Info == "" {
+			t.Fatal("queue rejection with empty Info")
+		}
+		// A history that passed must still pass with its operations
+		// reordered in the slice: Check is order-insensitive by spec
+		// (ordering comes from timestamps, not slice position).
+		if len(kvOps) > 1 {
+			rev := make([]Operation, len(kvOps))
+			for i, op := range kvOps {
+				rev[len(kvOps)-1-i] = op
+			}
+			a, b := Check(KVModel(), kvOps).Ok, Check(KVModel(), rev).Ok
+			if a != b {
+				t.Fatalf("verdict depends on slice order: %v vs reversed %v", a, b)
+			}
+		}
+	})
+}

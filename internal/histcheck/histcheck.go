@@ -1,0 +1,271 @@
+// Package histcheck is a linearizability checker for operation
+// histories, in the style of Porcupine (Wing & Gong's algorithm with
+// Lowe's memoization): given a sequential model of an object and a
+// concurrent history of timed call/return intervals, it searches for a
+// linearization — a total order of the operations, each taking effect
+// at some instant inside its interval, that the sequential model
+// accepts.
+//
+// FlacOS needs this because its shared objects (the rack-wide Redis
+// store, the fabric rings) are built on a non-coherent fabric where the
+// failure mode of a missing write-back or invalidate is precisely a
+// non-linearizable history: a reader observing a value that no
+// linearization can explain. The repo's earlier history tests hand-rolled
+// per-shape checks (single-writer floors, exactly-once counters); this
+// package replaces them with the real decision procedure, reusable by
+// any test that can record Operations.
+//
+// Usage:
+//
+//	rec := histcheck.NewRecorder()
+//	op := rec.Begin(client, histcheck.KVInput{Op: histcheck.KVSet, Key: "k", Val: 7})
+//	... perform the real operation ...
+//	op.End(histcheck.KVOutput{})
+//	res := histcheck.Check(histcheck.KVModel(), rec.Operations())
+//	if !res.Ok { t.Fatal(res.Info) }
+package histcheck
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Operation is one completed call against the object under test:
+// a client, an input, an output, and the logical-time window
+// [Call, Return] during which it was in flight.
+type Operation struct {
+	Client int   // recording client (diagnostics only)
+	Input  any   // what was asked
+	Output any   // what came back
+	Call   int64 // logical timestamp when the call was issued
+	Return int64 // logical timestamp when the result was observed
+}
+
+// Model is a sequential specification. States and inputs/outputs are
+// opaque to the checker; Step must be pure (clone, never mutate, the
+// incoming state — the checker backtracks and will reuse it).
+type Model struct {
+	// Init returns the object's initial state.
+	Init func() any
+	// Step applies input to state. It returns whether the sequential
+	// object could have returned output, and the successor state.
+	Step func(state, input, output any) (bool, any)
+	// Equal compares two states for the memoization cache. Nil means
+	// reflect.DeepEqual.
+	Equal func(a, b any) bool
+	// Partition optionally splits a history into independent
+	// sub-histories (e.g. per key) checked separately; linearizability
+	// is local, so the conjunction is equivalent and exponentially
+	// cheaper. Nil means one partition.
+	Partition func(ops []Operation) [][]Operation
+	// Describe renders an input/output pair for counterexamples. Nil
+	// means %v formatting.
+	Describe func(input, output any) string
+}
+
+// Result is a checker verdict. When Ok is false, Info names the first
+// operation the search could not place in any linearization.
+type Result struct {
+	Ok   bool
+	Info string
+}
+
+// Check decides whether ops is linearizable with respect to model.
+// A malformed history (an operation whose Return precedes its Call)
+// yields a failed Result rather than a panic, so hostile histories —
+// including fuzzer-generated ones — are safe to feed in.
+func Check(model Model, ops []Operation) Result {
+	if model.Init == nil || model.Step == nil {
+		return Result{Ok: false, Info: "histcheck: model must define Init and Step"}
+	}
+	for i, op := range ops {
+		if op.Return < op.Call {
+			return Result{Ok: false, Info: fmt.Sprintf(
+				"histcheck: malformed history: operation %d returns at %d before its call at %d", i, op.Return, op.Call)}
+		}
+	}
+	parts := [][]Operation{ops}
+	if model.Partition != nil {
+		parts = model.Partition(ops)
+	}
+	for _, part := range parts {
+		if res := checkPartition(model, part); !res.Ok {
+			return res
+		}
+	}
+	return Result{Ok: true}
+}
+
+// entry is one end of an operation interval in the time-sorted event
+// list the search walks. A call entry's match points at its return
+// entry; return entries have match == nil.
+type entry struct {
+	id         int // operation index within the partition
+	input      any
+	output     any
+	time       int64
+	isReturn   bool
+	match      *entry // call -> its return
+	prev, next *entry
+}
+
+// makeEntries builds the doubly-linked, time-sorted event list, with a
+// sentinel head. Ties sort calls before returns, treating equal-stamp
+// operations as overlapping (the permissive reading; the Recorder's
+// atomic clock never produces ties).
+func makeEntries(ops []Operation) *entry {
+	events := make([]*entry, 0, 2*len(ops))
+	for i, op := range ops {
+		call := &entry{id: i, input: op.Input, output: op.Output, time: op.Call}
+		ret := &entry{id: i, output: op.Output, time: op.Return, isReturn: true}
+		call.match = ret
+		events = append(events, call, ret)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return !events[i].isReturn && events[j].isReturn
+	})
+	head := &entry{id: -1}
+	cur := head
+	for _, e := range events {
+		e.prev = cur
+		cur.next = e
+		cur = e
+	}
+	return head
+}
+
+// lift removes a call entry and its return from the list (the operation
+// has been tentatively linearized).
+func lift(e *entry) {
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+// unlift reinserts a lifted call/return pair at their remembered
+// positions (the tentative linearization is being backtracked).
+func unlift(e *entry) {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	if e.next != nil {
+		e.next.prev = e
+	}
+}
+
+// checkPartition runs Wing & Gong's search with Lowe's (linearized-set,
+// state) memoization over one independent sub-history.
+func checkPartition(model Model, ops []Operation) Result {
+	n := len(ops)
+	if n == 0 {
+		return Result{Ok: true}
+	}
+	equal := model.Equal
+	if equal == nil {
+		equal = reflect.DeepEqual
+	}
+	head := makeEntries(ops)
+	linearized := newBitset(n)
+	var linHash uint64 // running XOR-of-mix64 hash of the linearized set
+	cache := map[uint64][]cacheEntry{}
+	type frame struct {
+		e     *entry
+		state any
+	}
+	var stack []frame
+	state := model.Init()
+	e := head.next
+	for head.next != nil {
+		if e == nil {
+			// Ran past the last event without being able to linearize
+			// everything that is still in the list: backtrack.
+			if len(stack) == 0 {
+				return counterexample(model, ops, head)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = top.state
+			linearized.clear(top.e.id)
+			linHash ^= mix64(uint64(top.e.id))
+			unlift(top.e)
+			e = top.e.next
+			continue
+		}
+		if !e.isReturn {
+			// Try linearizing this in-flight operation here.
+			ok, next := model.Step(state, e.input, e.output)
+			if ok {
+				linearized.set(e.id)
+				linHash ^= mix64(uint64(e.id))
+				if cacheWitness(cache, equal, linHash, linearized, next) {
+					stack = append(stack, frame{e: e, state: state})
+					state = next
+					lift(e)
+					e = head.next
+					continue
+				}
+				linearized.clear(e.id)
+				linHash ^= mix64(uint64(e.id))
+			}
+			e = e.next
+			continue
+		}
+		// A return entry: the operation that returned here was not
+		// linearized on this path, and nothing after its return can
+		// precede it — this path is dead. (Equivalent to e == nil.)
+		e = nil
+	}
+	return Result{Ok: true}
+}
+
+// cacheEntry pairs a linearized-set with a model state already proven
+// reachable; revisiting the pair cannot lead anywhere new.
+type cacheEntry struct {
+	lin   bitset
+	state any
+}
+
+// cacheWitness records (linearized, state) and reports whether it is
+// new. Returning false prunes the search (Lowe's optimization).
+func cacheWitness(cache map[uint64][]cacheEntry, equal func(a, b any) bool, h uint64, lin bitset, state any) bool {
+	for _, c := range cache[h] {
+		if c.lin.equals(lin) && equal(c.state, state) {
+			return false
+		}
+	}
+	cache[h] = append(cache[h], cacheEntry{lin: lin.clone(), state: state})
+	return true
+}
+
+// counterexample names the first un-linearizable prefix for the test
+// failure message.
+func counterexample(model Model, ops []Operation, head *entry) Result {
+	describe := model.Describe
+	if describe == nil {
+		describe = func(in, out any) string { return fmt.Sprintf("%v -> %v", in, out) }
+	}
+	// The first remaining call entry is the operation the search could
+	// never place; report it with its interval for debugging.
+	for e := head.next; e != nil; e = e.next {
+		if !e.isReturn {
+			op := ops[e.id]
+			return Result{Ok: false, Info: fmt.Sprintf(
+				"histcheck: history is not linearizable: no linearization point for client %d op %s in [%d,%d]",
+				op.Client, describe(op.Input, op.Output), op.Call, op.Return)}
+		}
+	}
+	return Result{Ok: false, Info: "histcheck: history is not linearizable"}
+}

@@ -1,0 +1,144 @@
+package histcheck
+
+import (
+	"sync"
+	"testing"
+)
+
+func op(client int, in KVInput, out KVOutput, call, ret int64) Operation {
+	return Operation{Client: client, Input: in, Output: out, Call: call, Return: ret}
+}
+
+func TestSequentialHistoryAccepted(t *testing.T) {
+	ops := []Operation{
+		op(0, KVInput{Op: KVSet, Key: "a", Val: 1}, KVOutput{}, 1, 2),
+		op(1, KVInput{Op: KVGet, Key: "a"}, KVOutput{Val: 1, Found: true}, 3, 4),
+		op(0, KVInput{Op: KVDel, Key: "a"}, KVOutput{Found: true}, 5, 6),
+		op(1, KVInput{Op: KVGet, Key: "a"}, KVOutput{}, 7, 8),
+		op(2, KVInput{Op: KVIncr, Key: "a"}, KVOutput{Val: 1}, 9, 10),
+		op(2, KVInput{Op: KVIncr, Key: "a"}, KVOutput{Val: 2}, 11, 12),
+	}
+	if res := Check(KVModel(), ops); !res.Ok {
+		t.Fatalf("sequential history rejected: %s", res.Info)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	ops := []Operation{
+		op(0, KVInput{Op: KVSet, Key: "a", Val: 1}, KVOutput{}, 1, 2),
+		op(0, KVInput{Op: KVSet, Key: "a", Val: 2}, KVOutput{}, 3, 4),
+		// Strictly after the second set returned, a reader still sees 1:
+		// the exact symptom of a missing write-back/invalidate pair.
+		op(1, KVInput{Op: KVGet, Key: "a"}, KVOutput{Val: 1, Found: true}, 5, 6),
+	}
+	res := Check(KVModel(), ops)
+	if res.Ok {
+		t.Fatal("stale read accepted")
+	}
+	if res.Info == "" {
+		t.Fatal("rejection carries no counterexample info")
+	}
+}
+
+func TestOverlappingOpsUseTheSlack(t *testing.T) {
+	// The read overlaps the set, so it may linearize on either side:
+	// a miss is legal.
+	ops := []Operation{
+		op(0, KVInput{Op: KVSet, Key: "a", Val: 1}, KVOutput{}, 1, 6),
+		op(1, KVInput{Op: KVGet, Key: "a"}, KVOutput{}, 2, 3),
+		op(1, KVInput{Op: KVGet, Key: "a"}, KVOutput{Val: 1, Found: true}, 4, 5),
+	}
+	if res := Check(KVModel(), ops); !res.Ok {
+		t.Fatalf("overlapping history rejected: %s", res.Info)
+	}
+	// But a read strictly after the set returned must hit.
+	ops = []Operation{
+		op(0, KVInput{Op: KVSet, Key: "a", Val: 1}, KVOutput{}, 1, 2),
+		op(1, KVInput{Op: KVGet, Key: "a"}, KVOutput{}, 3, 4),
+	}
+	if res := Check(KVModel(), ops); res.Ok {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestPartitionIndependence(t *testing.T) {
+	// Key b's violation must be caught even though key a's history is fine.
+	ops := []Operation{
+		op(0, KVInput{Op: KVSet, Key: "a", Val: 1}, KVOutput{}, 1, 2),
+		op(1, KVInput{Op: KVGet, Key: "a"}, KVOutput{Val: 1, Found: true}, 3, 4),
+		op(2, KVInput{Op: KVGet, Key: "b"}, KVOutput{Val: 9, Found: true}, 5, 6),
+	}
+	if res := Check(KVModel(), ops); res.Ok {
+		t.Fatal("phantom read on key b accepted")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	push := func(v uint64, call, ret int64) Operation {
+		return Operation{Input: QueueInput{Op: QueuePush, Val: v}, Call: call, Return: ret}
+	}
+	pop := func(v uint64, ok bool, call, ret int64) Operation {
+		return Operation{Input: QueueInput{Op: QueuePop}, Output: QueueOutput{Val: v, OK: ok}, Call: call, Return: ret}
+	}
+	good := []Operation{push(1, 1, 2), push(2, 3, 4), pop(1, true, 5, 6), pop(2, true, 7, 8), pop(0, false, 9, 10)}
+	if res := Check(QueueModel(), good); !res.Ok {
+		t.Fatalf("FIFO history rejected: %s", res.Info)
+	}
+	reordered := []Operation{push(1, 1, 2), push(2, 3, 4), pop(2, true, 5, 6)}
+	if res := Check(QueueModel(), reordered); res.Ok {
+		t.Fatal("LIFO pop accepted by FIFO model")
+	}
+	phantomEmpty := []Operation{push(1, 1, 2), pop(0, false, 3, 4)}
+	if res := Check(QueueModel(), phantomEmpty); res.Ok {
+		t.Fatal("empty pop after completed push accepted")
+	}
+}
+
+func TestMalformedHistoryRejectedNotPanicked(t *testing.T) {
+	ops := []Operation{op(0, KVInput{Op: KVSet, Key: "a"}, KVOutput{}, 10, 2)}
+	if res := Check(KVModel(), ops); res.Ok {
+		t.Fatal("operation returning before it was called accepted")
+	}
+}
+
+// TestRecorderAgainstRealMutexMap drives a genuinely linearizable object
+// (a mutex-guarded map) through the Recorder and checks the history
+// passes — the end-to-end smoke for the Recorder's clock semantics.
+func TestRecorderAgainstRealMutexMap(t *testing.T) {
+	var (
+		mu sync.Mutex
+		m  = map[string]uint64{}
+	)
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := []string{"x", "y"}[c%2]
+			for i := 0; i < 200; i++ {
+				if c < 2 {
+					v := uint64(c*1000 + i)
+					p := rec.Begin(c, KVInput{Op: KVSet, Key: key, Val: v})
+					mu.Lock()
+					m[key] = v
+					mu.Unlock()
+					p.End(KVOutput{})
+				} else {
+					p := rec.Begin(c, KVInput{Op: KVGet, Key: key})
+					mu.Lock()
+					v, ok := m[key]
+					mu.Unlock()
+					p.End(KVOutput{Val: v, Found: ok})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if res := Check(KVModel(), rec.Operations()); !res.Ok {
+		t.Fatalf("mutex-map history rejected: %s", res.Info)
+	}
+	if rec.Len() != 800 {
+		t.Fatalf("recorded %d ops, want 800", rec.Len())
+	}
+}

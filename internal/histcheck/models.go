@@ -1,0 +1,196 @@
+package histcheck
+
+import "fmt"
+
+// This file carries the two sequential specifications FlacOS's shared
+// objects are tested against: a per-key key/value cell (the rack-wide
+// Redis store) and a FIFO queue (the fabric rings). Both are plain
+// Models; tests with other shapes can define their own.
+
+// KVOp selects a key/value operation.
+type KVOp uint8
+
+const (
+	KVGet KVOp = iota
+	KVSet
+	KVDel
+	KVIncr
+)
+
+func (o KVOp) String() string {
+	switch o {
+	case KVGet:
+		return "GET"
+	case KVSet:
+		return "SET"
+	case KVDel:
+		return "DEL"
+	case KVIncr:
+		return "INCR"
+	}
+	return fmt.Sprintf("KVOp(%d)", uint8(o))
+}
+
+// KVInput is one key/value call. Val is the value being SET; GET, DEL
+// and INCR ignore it.
+type KVInput struct {
+	Op  KVOp
+	Key string
+	Val uint64
+}
+
+// KVOutput is what came back: Found reports a GET hit or a DEL that
+// removed the key; Val carries the GET value or the INCR result.
+type KVOutput struct {
+	Val   uint64
+	Found bool
+}
+
+// kvState is one key's sequential state; histories are partitioned per
+// key, so a scalar cell suffices.
+type kvState struct {
+	val     uint64
+	present bool
+}
+
+// KVModel returns the sequential specification of a linearizable
+// key/value store with GET/SET/DEL/INCR, partitioned by key.
+func KVModel() Model {
+	return Model{
+		Init: func() any { return kvState{} },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(kvState)
+			in := input.(KVInput)
+			out, _ := output.(KVOutput)
+			switch in.Op {
+			case KVGet:
+				ok := out.Found == s.present && (!out.Found || out.Val == s.val)
+				return ok, s
+			case KVSet:
+				return true, kvState{val: in.Val, present: true}
+			case KVDel:
+				return out.Found == s.present, kvState{}
+			case KVIncr:
+				nv := uint64(1)
+				if s.present {
+					nv = s.val + 1
+				}
+				return out.Val == nv, kvState{val: nv, present: true}
+			}
+			return false, s
+		},
+		Equal: func(a, b any) bool { return a.(kvState) == b.(kvState) },
+		Partition: func(ops []Operation) [][]Operation {
+			byKey := map[string][]Operation{}
+			var order []string
+			for _, op := range ops {
+				in, ok := op.Input.(KVInput)
+				if !ok {
+					// Foreign inputs share one partition so Step can
+					// reject them instead of the checker panicking.
+					in.Key = ""
+				}
+				if _, seen := byKey[in.Key]; !seen {
+					order = append(order, in.Key)
+				}
+				byKey[in.Key] = append(byKey[in.Key], op)
+			}
+			parts := make([][]Operation, 0, len(order))
+			for _, k := range order {
+				parts = append(parts, byKey[k])
+			}
+			return parts
+		},
+		Describe: func(input, output any) string {
+			in, _ := input.(KVInput)
+			out, _ := output.(KVOutput)
+			switch in.Op {
+			case KVGet:
+				if !out.Found {
+					return fmt.Sprintf("GET %q -> miss", in.Key)
+				}
+				return fmt.Sprintf("GET %q -> %d", in.Key, out.Val)
+			case KVSet:
+				return fmt.Sprintf("SET %q = %d", in.Key, in.Val)
+			case KVDel:
+				return fmt.Sprintf("DEL %q -> %v", in.Key, out.Found)
+			case KVIncr:
+				return fmt.Sprintf("INCR %q -> %d", in.Key, out.Val)
+			}
+			return fmt.Sprintf("%v -> %v", input, output)
+		},
+	}
+}
+
+// QueueOp selects a queue operation.
+type QueueOp uint8
+
+const (
+	QueuePush QueueOp = iota
+	QueuePop
+)
+
+// QueueInput is one queue call; Val is the pushed value (POP ignores it).
+type QueueInput struct {
+	Op  QueueOp
+	Val uint64
+}
+
+// QueueOutput is a POP result: OK false means the queue was observed
+// empty (a TryPop miss), otherwise Val is the dequeued value.
+type QueueOutput struct {
+	Val uint64
+	OK  bool
+}
+
+// QueueModel returns the sequential specification of a linearizable
+// FIFO queue — the contract of the fabric SPSC/MPSC rings.
+func QueueModel() Model {
+	return Model{
+		Init: func() any { return []uint64(nil) },
+		Step: func(state, input, output any) (bool, any) {
+			q := state.([]uint64)
+			in := input.(QueueInput)
+			switch in.Op {
+			case QueuePush:
+				nq := make([]uint64, len(q)+1)
+				copy(nq, q)
+				nq[len(q)] = in.Val
+				return true, nq
+			case QueuePop:
+				out, _ := output.(QueueOutput)
+				if !out.OK {
+					return len(q) == 0, q
+				}
+				if len(q) == 0 || q[0] != out.Val {
+					return false, q
+				}
+				return true, q[1:]
+			}
+			return false, q
+		},
+		Equal: func(a, b any) bool {
+			qa, qb := a.([]uint64), b.([]uint64)
+			if len(qa) != len(qb) {
+				return false
+			}
+			for i := range qa {
+				if qa[i] != qb[i] {
+					return false
+				}
+			}
+			return true
+		},
+		Describe: func(input, output any) string {
+			in, _ := input.(QueueInput)
+			if in.Op == QueuePush {
+				return fmt.Sprintf("PUSH %d", in.Val)
+			}
+			out, _ := output.(QueueOutput)
+			if !out.OK {
+				return "POP -> empty"
+			}
+			return fmt.Sprintf("POP -> %d", out.Val)
+		},
+	}
+}

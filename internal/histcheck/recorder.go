@@ -1,0 +1,65 @@
+package histcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder collects a concurrent operation history. Its clock is a
+// single atomic counter, so timestamps are unique and totally ordered
+// with the real-time order of the stamping instructions: if operation A
+// returned before operation B was called, A's Return stamp is smaller
+// than B's Call stamp, which is exactly the precedence relation
+// linearizability must respect. Safe for concurrent use.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Operation
+}
+
+// NewRecorder returns an empty history recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Pending is an operation that has been called but not yet returned.
+type Pending struct {
+	r      *Recorder
+	client int
+	input  any
+	call   int64
+}
+
+// Begin stamps the call time of an operation just before the caller
+// issues it against the real object.
+func (r *Recorder) Begin(client int, input any) *Pending {
+	return &Pending{r: r, client: client, input: input, call: r.clock.Add(1)}
+}
+
+// End stamps the return time and commits the operation to the history.
+// Call it with the observed output immediately after the real operation
+// returns.
+func (p *Pending) End(output any) {
+	ret := p.r.clock.Add(1)
+	p.r.mu.Lock()
+	p.r.ops = append(p.r.ops, Operation{
+		Client: p.client,
+		Input:  p.input,
+		Output: output,
+		Call:   p.call,
+		Return: ret,
+	})
+	p.r.mu.Unlock()
+}
+
+// Operations returns a copy of the recorded history.
+func (r *Recorder) Operations() []Operation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Operation(nil), r.ops...)
+}
+
+// Len returns the number of completed operations recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

@@ -72,6 +72,17 @@ func (c *Collector) snapshotNodeLocked(reader *fabric.Node, node int, consume bo
 				// injection: either way the slot holds nothing live.
 				break
 			}
+			if t >= tail+r.cap {
+				// A ticket the writer could not have claimed while the
+				// cursor was at tail: the ring holds at most cap live
+				// events. Either the sequence word was mangled at home
+				// (torn line, fault injection) or the writer lapped this
+				// snapshot mid-scan; in both cases the slot is not data,
+				// and accepting the ticket would let a consume yank the
+				// tail cursor arbitrarily far forward and wedge the ring.
+				snap.Skipped++
+				break
+			}
 			// The reader may hold a stale cached copy from an earlier
 			// snapshot; drop it so Read refetches from home.
 			reader.InvalidateRange(g, slotBytes)

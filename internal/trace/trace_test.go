@@ -178,10 +178,10 @@ func TestSpansAndChromeJSON(t *testing.T) {
 
 func TestVNS(t *testing.T) {
 	cases := map[uint64]string{
-		0:          "0ns",
-		750:        "750ns",
-		1750:       "1.75us",
-		2_500_000:  "2.50ms",
+		0:         "0ns",
+		750:       "750ns",
+		1750:      "1.75us",
+		2_500_000: "2.50ms",
 		3 << 30:   "3.22s",
 	}
 	for ns, want := range cases {
