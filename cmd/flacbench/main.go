@@ -15,6 +15,7 @@
 //	flacbench -experiment sched        # ablation G: coordinated scheduling
 //	flacbench -experiment redisrack    # rack-shared Redis: 1 vs N serving nodes
 //	flacbench -experiment trace        # flight-recorder overhead budget
+//	flacbench -experiment membership   # failure detection vs per-subsystem recovery
 //	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
 //	flacbench -experiment torture -seed 42            # replay one failing seed
 //	flacbench -experiment torture -torture-break ring-invalidate  # checker self-test
@@ -28,6 +29,10 @@
 //
 // The redisrack experiment also exits nonzero on a stale, torn or
 // backwards cross-node read, or a multi-node speedup under its gate.
+// The membership experiment exits nonzero on a zombie write leaking
+// through a generation fence, a detection/recovery timeout, a lost or
+// double-completed task, or membership recovery failing to beat the
+// lease-expiry baseline.
 // With -bench-json, experiments that publish machine-readable headline
 // numbers write them to BENCH_<name>.json for cross-PR tracking.
 package main
@@ -44,12 +49,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|trace|torture|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|trace|membership|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
 	tortureBreak := flag.String("torture-break", "", "torture: enable a deliberately broken sync path (ring-invalidate|shootdown); the run must then be caught as FAIL")
-	tortureWorkload := flag.String("torture-workload", "", "torture: restrict the matrix to one workload (ds|sched|fs|memsys|redisrack)")
+	tortureWorkload := flag.String("torture-workload", "", "torture: restrict the matrix to one workload (ds|sched|fs|memsys|redisrack|membership)")
 	benchJSON := flag.Bool("bench-json", false, "write each experiment's machine-readable headline to BENCH_<name>.json")
 	flag.Parse()
 
@@ -116,7 +121,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "trace", "torture"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "trace", "membership", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -128,7 +133,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "membership" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -156,6 +161,18 @@ func main() {
 			res, failed = experiments.RedisRack(cfg)
 			if failed {
 				fmt.Fprintln(os.Stderr, "flacbench: redisrack observed a stale/torn/backwards read or missed its multi-node speedup gate")
+				exitCode = 1
+			}
+		} else if name == "membership" {
+			cfg := experiments.DefaultMembership()
+			if *quick {
+				cfg.Rounds = 3
+				cfg.TasksPerRound = 40
+			}
+			var failed bool
+			res, failed = experiments.Membership(cfg)
+			if failed {
+				fmt.Fprintln(os.Stderr, "flacbench: membership experiment leaked a zombie write, timed out detecting/recovering, lost exactly-once, or did not beat the lease-expiry baseline")
 				exitCode = 1
 			}
 		} else if name == "trace" {

@@ -131,9 +131,15 @@ type Rack struct {
 	sched       *sched.Scheduler
 	schedBooted atomic.Bool
 
-	redisOnce sync.Once
-	redis     *redis.RackStore
-	redisCfg  redis.RackStoreConfig
+	redisOnce   sync.Once
+	redis       *redis.RackStore
+	redisCfg    redis.RackStoreConfig
+	redisBooted atomic.Bool
+
+	mem membershipState // coordinated failure detection (membership.go)
+
+	ctlMu sync.Mutex
+	ctls  []*serverless.Controller // control planes wired for Dead eviction
 
 	traceMu sync.Mutex
 	tracer  *trace.Recorder
@@ -170,6 +176,7 @@ func (r *Rack) RedisStore() *redis.RackStore {
 		cfg := r.redisCfg
 		cfg.Arena = r.Arena
 		r.redis = redis.NewRackStore(r.Fabric, cfg)
+		r.redisBooted.Store(true)
 	})
 	return r.redis
 }
@@ -211,6 +218,17 @@ func (r *Rack) EnableTrace(cfg trace.Config) *trace.Recorder {
 	if r.schedBooted.Load() {
 		r.sched.SetTrace(rec)
 	}
+	// Membership members may already be running (EnableMembership before
+	// EnableTrace): attach their writers now. Member.SetTrace is
+	// hot-swap safe.
+	r.mem.mu.Lock()
+	members := r.mem.members
+	r.mem.mu.Unlock()
+	for i, m := range members {
+		if m != nil {
+			m.SetTrace(rec.Writer(i))
+		}
+	}
 	return rec
 }
 
@@ -225,6 +243,7 @@ func (r *Rack) Trace() *trace.Recorder {
 // lease keepers). The fabric itself needs no teardown; a Rack is garbage
 // once unreferenced. Safe to call more than once.
 func (r *Rack) Shutdown() {
+	r.StopMembership()
 	r.schedOnce.Do(func() {}) // settle: either it booted or it never will
 	if r.sched != nil {
 		r.sched.Stop()
@@ -352,10 +371,16 @@ func (r *Rack) Serverless(reg *serverless.Registry, rtCfg serverless.RuntimeConf
 	ctl := serverless.NewController(runtimes, r.Services)
 	// Container placement goes through the coordinated scheduler: its
 	// global load board sees work the control plane's own density count
-	// doesn't, and it skips crashed nodes.
+	// doesn't, and it skips crashed nodes (and, with EnableMembership,
+	// nodes the rack has declared dead).
 	ctl.SetPlacer(r.Scheduler().PickNode)
 	if t := r.Trace(); t != nil {
 		ctl.SetTrace(t)
 	}
+	// Register for membership-driven recovery: a Dead event re-places
+	// this control plane's containers off the dead node.
+	r.ctlMu.Lock()
+	r.ctls = append(r.ctls, ctl)
+	r.ctlMu.Unlock()
 	return ctl
 }

@@ -81,6 +81,16 @@ func TestEveryExperimentQuickSmoke(t *testing.T) {
 			}
 			return res
 		}},
+		{"membership", func() *Result {
+			cfg := DefaultMembership()
+			cfg.Rounds = 2
+			cfg.TasksPerRound = 24
+			res, failed := Membership(cfg)
+			if failed {
+				t.Errorf("membership experiment reported failure in smoke sizes:\n%s", res)
+			}
+			return res
+		}},
 		{"torture", func() *Result {
 			cfg := DefaultTorture()
 			cfg.Seeds = []int64{1}
@@ -116,6 +126,32 @@ func TestEveryExperimentQuickSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMembershipBenchHeadline pins the membership experiment's
+// machine-readable contract: a Bench named "membership" whose
+// percentiles are the wall-clock crash->Dead detection latency.
+func TestMembershipBenchHeadline(t *testing.T) {
+	cfg := DefaultMembership()
+	cfg.Rounds = 2
+	cfg.TasksPerRound = 24
+	res, failed := Membership(cfg)
+	if failed {
+		t.Fatal("membership failed at smoke sizes")
+	}
+	b := res.Bench
+	if b == nil {
+		t.Fatal("membership result has no Bench headline")
+	}
+	if b.Name != "membership" {
+		t.Errorf("bench name %q", b.Name)
+	}
+	if b.OpsPerSec <= 0 {
+		t.Errorf("ops/s %v", b.OpsPerSec)
+	}
+	if b.P50NS <= 0 || b.P99NS < b.P50NS {
+		t.Errorf("percentiles p50=%v p99=%v", b.P50NS, b.P99NS)
 	}
 }
 

@@ -1,0 +1,164 @@
+package membership
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"flacos/internal/fabric"
+)
+
+// The heartbeat record is the membership hot path: one cache line per
+// node slot that the owner republishes every tick with a single
+// full-line store plus one explicit write-back, exactly the trace-ring
+// publication idiom. fabric commits a flushed line's words in ascending
+// order, so the beat counter — the LAST word of the line — lands at
+// home only after every payload word of the same flush. A reader that
+// observes a new beat therefore observes the matching payload; a crash
+// mid-publish loses the tick cleanly instead of tearing it.
+//
+// No per-slot fabric atomics anywhere on this path: publication is one
+// write-back, observation is one invalidate + one line read. All slow
+// state transitions (Joining/Alive/Suspect/Dead/Left) live on the
+// separate control line, which is fabric-atomics-only — the two MUST
+// NOT share a line, or a heartbeat write-back would clobber home words
+// that a concurrent control CAS just committed.
+//
+// Record line layout (8 little-endian words):
+//
+//	w0 magic(32) | node(8) | slot(8) | reserved(16)
+//	w1 generation   (bumped every time the slot is (re)claimed)
+//	w2 incarnation  (bumped by the owner to refute a false suspicion)
+//	w3 timestamp    (owner's virtual-clock ns at publish)
+//	w4 reserved 0
+//	w5 reserved 0
+//	w6 checksum     (mix of words 0-5 and the beat)
+//	w7 beat         (publication word: strictly increasing tick counter)
+const (
+	recordBytes = fabric.LineSize
+
+	offMagic = 0
+	offGen   = 8
+	offInc   = 16
+	offTS    = 24
+	offCkSum = 48
+	offBeat  = 56
+
+	recordMagic = 0x464c4d42 // "FLMB"
+)
+
+// Record is one decoded heartbeat observation.
+//
+//flac:shared
+type Record struct {
+	Node        uint8
+	Slot        uint8
+	Generation  uint64
+	Incarnation uint64
+	TS          uint64 // owner's virtual-clock ns at publish
+	Beat        uint64 // strictly increasing tick counter
+}
+
+// Decode validation errors. The detector treats every one of them as
+// "no usable beat": a record torn by a crash, corrupted in transit, or
+// forged by a stale cache line must never drive a state transition.
+var (
+	ErrBadMagic    = errors.New("membership: record magic mismatch")
+	ErrBadSlot     = errors.New("membership: record slot mismatch")
+	ErrBadChecksum = errors.New("membership: record checksum mismatch")
+	ErrZeroRecord  = errors.New("membership: record has no beat yet")
+	ErrBadGen      = errors.New("membership: record generation invalid")
+	ErrFutureTS    = errors.New("membership: record timestamp in the future")
+)
+
+// mix64 is the splitmix64 finalizer, the same mixing the ds and redis
+// layers use for hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// recordSum folds the payload words and the beat into one checksum
+// word. It is an integrity check against torn and bit-flipped lines,
+// not an authentication code.
+func recordSum(w0, gen, inc, ts, beat uint64) uint64 {
+	h := mix64(w0 ^ 0x6d656d6265727368)
+	h = mix64(h ^ gen)
+	h = mix64(h ^ inc)
+	h = mix64(h ^ ts)
+	h = mix64(h ^ beat)
+	return h
+}
+
+// EncodeRecord packs r into its line image.
+func EncodeRecord(r Record) [recordBytes]byte {
+	var b [recordBytes]byte
+	w0 := uint64(recordMagic)<<32 | uint64(r.Node)<<24 | uint64(r.Slot)<<16
+	binary.LittleEndian.PutUint64(b[offMagic:], w0)
+	binary.LittleEndian.PutUint64(b[offGen:], r.Generation)
+	binary.LittleEndian.PutUint64(b[offInc:], r.Incarnation)
+	binary.LittleEndian.PutUint64(b[offTS:], r.TS)
+	binary.LittleEndian.PutUint64(b[offCkSum:], recordSum(w0, r.Generation, r.Incarnation, r.TS, r.Beat))
+	binary.LittleEndian.PutUint64(b[offBeat:], r.Beat)
+	return b
+}
+
+// DecodeRecord unpacks and validates a heartbeat line read from the
+// arena for slot wantSlot. maxVNS is the freshest virtual-clock value
+// the reader can vouch for rack-wide (plus any slack it tolerates); a
+// record stamped beyond it cannot have been produced by a well-behaved
+// owner and is rejected. A failed decode means the observation carries
+// no information — never that the node is alive or dead.
+func DecodeRecord(b [recordBytes]byte, wantSlot int, maxVNS uint64) (Record, error) {
+	w0 := binary.LittleEndian.Uint64(b[offMagic:])
+	gen := binary.LittleEndian.Uint64(b[offGen:])
+	inc := binary.LittleEndian.Uint64(b[offInc:])
+	ts := binary.LittleEndian.Uint64(b[offTS:])
+	sum := binary.LittleEndian.Uint64(b[offCkSum:])
+	beat := binary.LittleEndian.Uint64(b[offBeat:])
+	if beat == 0 {
+		// A slot that has never published is all-zero by construction;
+		// report it distinctly so callers can tell "empty" from "garbage".
+		for _, x := range b {
+			if x != 0 {
+				return Record{}, ErrBadChecksum
+			}
+		}
+		return Record{}, ErrZeroRecord
+	}
+	if w0>>32 != recordMagic {
+		return Record{}, ErrBadMagic
+	}
+	if sum != recordSum(w0, gen, inc, ts, beat) {
+		return Record{}, ErrBadChecksum
+	}
+	// The checksum covers only the meaningful words; reject corruption in
+	// the reserved ones too, so every accepted line is exactly what
+	// EncodeRecord would produce (accepted => canonical round-trip).
+	if w0&0xffff != 0 ||
+		binary.LittleEndian.Uint64(b[offTS+8:]) != 0 ||
+		binary.LittleEndian.Uint64(b[offTS+16:]) != 0 {
+		return Record{}, ErrBadChecksum
+	}
+	r := Record{
+		Node:        uint8(w0 >> 24),
+		Slot:        uint8(w0 >> 16),
+		Generation:  gen,
+		Incarnation: inc,
+		TS:          ts,
+		Beat:        beat,
+	}
+	if int(r.Slot) != wantSlot {
+		return Record{}, ErrBadSlot
+	}
+	if gen == 0 || gen > 1<<32 {
+		return Record{}, ErrBadGen
+	}
+	if ts > maxVNS {
+		return Record{}, ErrFutureTS
+	}
+	return r, nil
+}

@@ -1,0 +1,102 @@
+package redis
+
+import (
+	"errors"
+	"testing"
+
+	"flacos/internal/fabric"
+)
+
+// Zombie fencing, deterministically: a view attached before its node
+// was declared Dead must have every write rejected once FenceNode runs,
+// while a view attached under the post-rejoin generation serves
+// normally. This is the redis half of the membership generation fence
+// (sched's half is TestReclaimNodeFencesZombieCompletion).
+func TestFenceNodeRejectsZombieWrites(t *testing.T) {
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 2})
+	s := NewRackStore(f, RackStoreConfig{})
+	n0, n1 := f.Node(0), f.Node(1)
+
+	// Node 1 serves under membership generation 1.
+	zombie := s.AttachGen(n1, 1)
+	if err := zombie.Set("k", []byte("before"), 0); err != nil {
+		t.Fatalf("pre-fence set: %v", err)
+	}
+
+	// The rack declares node 1 dead at generation 1; recovery fences it
+	// from a live node.
+	if got := s.FenceNode(n0, 1, 1); got != 1 {
+		t.Fatalf("FenceNode fenced %d views, want 1", got)
+	}
+	// Idempotent per (node, generation).
+	if got := s.FenceNode(n0, 1, 1); got != 0 {
+		t.Fatalf("repeat FenceNode fenced %d views, want 0", got)
+	}
+
+	// Every write through the zombie's view now bounces.
+	if err := zombie.Set("k", []byte("after"), 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie Set: %v, want ErrFenced", err)
+	}
+	if _, err := zombie.Incr("ctr"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie Incr: %v, want ErrFenced", err)
+	}
+	if got := zombie.Del("k"); got != 0 {
+		t.Fatalf("zombie Del deleted %d keys, want 0", got)
+	}
+
+	// The committed state is untouched and visible elsewhere.
+	reader := s.AttachGen(n0, 1)
+	if v, ok := reader.Get("k"); !ok || string(v) != "before" {
+		t.Fatalf("Get(k) = %q, %v; want \"before\", true", v, ok)
+	}
+
+	// Node 1 rejoins at generation 2: its fresh view serves.
+	rejoined := s.AttachGen(n1, 2)
+	if err := rejoined.Set("k", []byte("rejoined"), 0); err != nil {
+		t.Fatalf("post-rejoin set: %v", err)
+	}
+	if v, ok := reader.Get("k"); !ok || string(v) != "rejoined" {
+		t.Fatalf("Get(k) = %q, %v; want \"rejoined\", true", v, ok)
+	}
+	// And the OLD generation stays fenced forever.
+	if err := zombie.Set("k", []byte("necro"), 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie Set after rejoin: %v, want ErrFenced", err)
+	}
+}
+
+// Attach (without an explicit generation) adopts the node's current
+// fence level, so plain reattach-after-crash keeps working for callers
+// that never heard of membership.
+func TestAttachAdoptsFenceLevel(t *testing.T) {
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 2})
+	s := NewRackStore(f, RackStoreConfig{})
+	n0, n1 := f.Node(0), f.Node(1)
+
+	old := s.Attach(n1) // generation 0
+	s.FenceNode(n0, 1, 0)
+	if err := old.Set("k", []byte("x"), 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("old view Set: %v, want ErrFenced", err)
+	}
+	fresh := s.Attach(n1) // adopts fence level 1
+	if err := fresh.Set("k", []byte("x"), 0); err != nil {
+		t.Fatalf("fresh view Set: %v", err)
+	}
+	if fresh.Generation() == old.Generation() {
+		t.Fatal("fresh view did not adopt the raised fence level")
+	}
+}
+
+// A fence for an older generation must not reject a view already
+// serving under a newer one (the FenceNode(gen) monotonicity contract).
+func TestLateFenceForOldGenerationIsHarmless(t *testing.T) {
+	f := fabric.New(fabric.Config{GlobalSize: 64 << 20, Nodes: 2})
+	s := NewRackStore(f, RackStoreConfig{})
+	n0, n1 := f.Node(0), f.Node(1)
+
+	v2 := s.AttachGen(n1, 2)
+	// A slow observer only now reports the generation-1 death.
+	s.FenceNode(n0, 1, 1)
+	if err := v2.Set("k", []byte("x"), 0); err != nil {
+		t.Fatalf("gen-2 view fenced by a gen-1 fence: %v", err)
+	}
+}

@@ -56,10 +56,12 @@ type RackStore struct {
 
 	clockG fabric.GPtr // shared virtual clock, ns (one word, fabric atomics only)
 	liveG  fabric.GPtr // live-key count (Redis DBSIZE semantics)
+	fenceG fabric.GPtr // per-node generation fence words (fabric atomics only)
 
 	mu       sync.Mutex
 	nextView int
 	maxViews int
+	byNode   map[int][]*View // unfenced views per node (see fence.go)
 }
 
 // RackStoreConfig sizes the shared store. Zero values get defaults sized
@@ -129,7 +131,9 @@ func NewRackStore(f *fabric.Fabric, cfg RackStoreConfig) *RackStore {
 		dom:      quiescence.NewDomain(f, cfg.MaxViews),
 		clockG:   f.Reserve(fabric.LineSize, fabric.LineSize),
 		liveG:    f.Reserve(fabric.LineSize, fabric.LineSize),
+		fenceG:   f.Reserve(uint64(f.NumNodes())*8, fabric.LineSize),
 		maxViews: cfg.MaxViews,
+		byNode:   make(map[int][]*View),
 	}
 }
 
@@ -153,6 +157,10 @@ func (s *RackStore) AdvanceClock(n *fabric.Node, d time.Duration) uint64 {
 // session or client worker. Views of a crashed node must be abandoned:
 // FenceView the old id from any live node and Attach a fresh one.
 func (s *RackStore) Attach(n *fabric.Node) *View {
+	// A fresh attachment adopts the node's CURRENT fence level as its
+	// generation: new views are definitionally not zombies, so a fence
+	// raised against the node's previous life does not reject them.
+	gen := n.AtomicLoad64(s.fenceSlotG(n.ID()))
 	s.mu.Lock()
 	id := s.nextView
 	s.nextView++
@@ -160,13 +168,18 @@ func (s *RackStore) Attach(n *fabric.Node) *View {
 	if id >= s.maxViews {
 		panic(fmt.Sprintf("redis: RackStore view capacity exhausted (%d); size RackStoreConfig.MaxViews for attach churn", s.maxViews))
 	}
-	return &View{
-		s:  s,
-		n:  n,
-		na: s.arena.NodeAllocator(n, 0),
-		p:  s.dom.Participant(n, id),
-		id: id,
+	v := &View{
+		s:   s,
+		n:   n,
+		na:  s.arena.NodeAllocator(n, 0),
+		p:   s.dom.Participant(n, id),
+		id:  id,
+		gen: gen,
 	}
+	s.mu.Lock()
+	s.byNode[n.ID()] = append(s.byNode[n.ID()], v)
+	s.mu.Unlock()
+	return v
 }
 
 // FenceView clears a dead view's quiescence reservation on its behalf,
@@ -187,9 +200,10 @@ type View struct {
 	s  *RackStore
 	n  *fabric.Node
 	na *alloc.NodeAllocator
-	p  *quiescence.Participant
-	id int
-	tw *trace.Writer
+	p   *quiescence.Participant
+	id  int
+	gen uint64 // membership generation this view writes under (fence.go)
+	tw  *trace.Writer
 
 	ops uint64
 }
@@ -400,6 +414,9 @@ func (v *View) Set(key string, value []byte, ttl time.Duration) error {
 	if err := checkSizes(key, value); err != nil {
 		return err
 	}
+	if v.fenced() {
+		return ErrFenced
+	}
 	if v.tw != nil {
 		h := keyHash(key)
 		v.tw.Begin(trace.SubRedis, trace.KSet, h, uint64(len(value)))
@@ -498,6 +515,11 @@ func (v *View) Del(keys ...string) int {
 }
 
 func (v *View) del1(key string) bool {
+	if v.fenced() {
+		// Del's counting signature has no error channel; a fenced delete
+		// simply does not happen (and reports the key untouched).
+		return false
+	}
 	v.p.Enter()
 	pr := v.probe(key)
 	if pr.entry.IsNil() || pr.hdr.deleted() {
@@ -535,6 +557,9 @@ func (v *View) del1(key string) bool {
 // preserved, like real Redis.
 func (v *View) Incr(key string) (int64, error) {
 	for {
+		if v.fenced() {
+			return 0, ErrFenced
+		}
 		v.p.Enter()
 		pr := v.probe(key)
 		cur := int64(0)

@@ -160,6 +160,12 @@ type Scheduler struct {
 	inboxMu []sync.Mutex // node-private consumer locks
 	notify  []chan struct{}
 
+	// liveness is the membership layer's oracle (nil = crash checks
+	// only); notServing gates a joining node's pull paths (see
+	// membership.go in this package).
+	liveness   atomic.Pointer[func(int) bool]
+	notServing []atomic.Bool
+
 	allocCursor atomic.Uint64
 	stolen      atomic.Uint64
 	reclaimed   atomic.Uint64
@@ -207,6 +213,7 @@ func New(f *fabric.Fabric, cfg Config) *Scheduler {
 		s.service.SetReservoir(cfg.HistCap, cfg.Seed+2)
 	}
 	nn := f.NumNodes()
+	s.notServing = make([]atomic.Bool, nn)
 	s.tr.trw = make([]atomic.Pointer[trace.Writer], nn)
 	s.inboxes = make([]*ds.MPSCRing, nn)
 	s.localQ = make([]chan LocalTask, nn)
@@ -333,7 +340,7 @@ func (s *Scheduler) SubmitToSpace(from *fabric.Node, sp *memsys.Space, t Task) H
 	t.Preferred = -1
 	best := ^uint64(0)
 	for _, id := range sp.AttachedNodes() {
-		if id >= s.fab.NumNodes() || s.fab.Node(id).Crashed() {
+		if !s.placeable(id) {
 			continue
 		}
 		if l := from.AtomicLoad64(s.loadG(id)); l < best {
@@ -389,7 +396,7 @@ func (s *Scheduler) target(from *fabric.Node, pref int) int {
 		s.rngMu.Lock()
 		defer s.rngMu.Unlock()
 		for tries := 0; tries < 4*nn; tries++ {
-			if id := s.rng.Intn(nn); !s.fab.Node(id).Crashed() {
+			if id := s.rng.Intn(nn); s.placeable(id) {
 				return id
 			}
 		}
@@ -399,7 +406,7 @@ func (s *Scheduler) target(from *fabric.Node, pref int) int {
 	var prefLoad uint64
 	prefAlive := false
 	for id := 0; id < nn; id++ {
-		if s.fab.Node(id).Crashed() {
+		if !s.placeable(id) {
 			continue
 		}
 		l := from.AtomicLoad64(s.loadG(id))
@@ -479,7 +486,7 @@ func (s *Scheduler) PickNode(density []int) int {
 	n := s.anyAlive()
 	best, bestScore := -1, ^uint64(0)
 	for id := 0; id < s.fab.NumNodes() && id < len(density); id++ {
-		if s.fab.Node(id).Crashed() {
+		if !s.placeable(id) {
 			continue
 		}
 		score := uint64(density[id])

@@ -42,14 +42,19 @@ func (s *Scheduler) worker(id int) {
 			continue
 		default:
 		}
-		// 2. Announcement inbox: the fast path for tasks placed here.
-		if slot, ok := s.popInbox(n, id); ok {
-			s.claimAndRun(n, id, slot)
-			continue
-		}
-		// 3. Global table: own-preferred first, then cross-node steal.
-		if n.AtomicLoad64(s.queuedG()) > 0 && s.scanAndRun(n, id) {
-			continue
+		// A node gated off by membership (hot-plug in progress: joined
+		// the fabric, not yet resynced/activated) runs only its local
+		// queue — it must not claim rack work it cannot yet serve.
+		if !s.notServing[id].Load() {
+			// 2. Announcement inbox: the fast path for tasks placed here.
+			if slot, ok := s.popInbox(n, id); ok {
+				s.claimAndRun(n, id, slot)
+				continue
+			}
+			// 3. Global table: own-preferred first, then cross-node steal.
+			if n.AtomicLoad64(s.queuedG()) > 0 && s.scanAndRun(n, id) {
+				continue
+			}
 		}
 		// 4. Idle: wait for a doorbell or the next steal tick.
 		if !timer.Stop() {
@@ -116,8 +121,10 @@ func (s *Scheduler) scanAndRun(n *fabric.Node, id int) bool {
 		if haveFallback {
 			continue
 		}
-		// Steal grace: leave a fresh task to its live preferred node.
-		if pref != noPreference && pref < s.fab.NumNodes() && !s.fab.Node(pref).Crashed() &&
+		// Steal grace: leave a fresh task to its live preferred node —
+		// "live" by the membership oracle when one is installed, so tasks
+		// preferring a declared-dead node are stealable immediately.
+		if pref != noPreference && s.placeable(pref) &&
 			latencyNS(n.AtomicLoad64(s.enqG(i)), now) < float64(s.cfg.StealGrace.Nanoseconds()) {
 			continue
 		}

@@ -218,6 +218,41 @@ func (c *Controller) InvokeChain(caller *fabric.Node, names []string, req []byte
 	return cur, nil
 }
 
+// EvictNode drops every warm instance on node id and re-places one
+// replacement instance per affected function elsewhere (the installed
+// placer skips nodes the rack considers dead). It is the membership
+// Dead event's recovery hook for the control plane: containers on a
+// dead node are gone, so the density books must say so and capacity
+// must come back up somewhere live. Returns how many functions lost an
+// instance. Idempotent — a second call finds nothing on the node.
+func (c *Controller) EvictNode(id int) int {
+	if id < 0 || id >= len(c.runtimes) {
+		return 0
+	}
+	c.mu.Lock()
+	var affected []string
+	for name, f := range c.fns {
+		f.mu.Lock()
+		if f.instances[id] {
+			delete(f.instances, id)
+			c.load[id]--
+			affected = append(affected, name)
+		}
+		f.mu.Unlock()
+	}
+	c.mu.Unlock()
+	// Re-place outside the lock: ScaleUp takes c.mu itself, and the
+	// replacement cold starts go through the shared page cache anyway.
+	for _, name := range affected {
+		if _, err := c.ScaleUp(name); err != nil {
+			// The function stays at scale-from-zero; the next Invoke
+			// cold-starts it. Nothing to unwind.
+			continue
+		}
+	}
+	return len(affected)
+}
+
 // Density returns warm instances per node.
 func (c *Controller) Density() []int {
 	c.mu.Lock()

@@ -330,7 +330,7 @@ func ClearBreaks() {
 
 // Workloads returns the registered workload set, in fixed order.
 func Workloads() []Workload {
-	return []Workload{newDSWorkload(), newSchedWorkload(), newFSWorkload(), newMemsysWorkload(), newRedisWorkload()}
+	return []Workload{newDSWorkload(), newSchedWorkload(), newFSWorkload(), newMemsysWorkload(), newRedisWorkload(), newMembershipWorkload()}
 }
 
 // ByName returns the named workload, or nil.

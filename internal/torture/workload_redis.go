@@ -119,13 +119,26 @@ func (w *redisWorkload) Clients(env *Env) []func() {
 	return out
 }
 
+// attachLoop attaches on n, riding out crashes that land before or
+// during the attach itself (under a loaded test host a client can be
+// scheduled so late that its first attach races the first fault event).
+func (w *redisWorkload) attachLoop(env *Env, n *fabric.Node) *redis.View {
+	for {
+		var v *redis.View
+		if env.RunOp(n, func() { v = w.attach(env, n) }) {
+			return v
+		}
+		env.WaitAlive(n)
+	}
+}
+
 // reattach fences a dead view and opens a fresh one once the node is
 // back. The fence runs on node 0 (never crashed) so it cannot itself die
 // mid-fence.
 func (w *redisWorkload) reattach(env *Env, n *fabric.Node, dead *redis.View) *redis.View {
 	env.WaitAlive(n)
 	w.store.FenceView(env.Fab.Node(0), dead.ID())
-	return w.attach(env, n)
+	return w.attachLoop(env, n)
 }
 
 // writer owns keys [node*kpw, node*kpw+kpw) and SETs strictly increasing
@@ -133,7 +146,7 @@ func (w *redisWorkload) reattach(env *Env, n *fabric.Node, dead *redis.View) *re
 // resyncs with a GET before continuing.
 func (w *redisWorkload) writer(env *Env, node int) {
 	n := env.Fab.Node(node)
-	v := w.attach(env, n)
+	v := w.attachLoop(env, n)
 	rng := env.Rand(uint64(0x50 + node))
 	ci := 0x500 + node
 	vers := make([]uint64, w.kpw)
@@ -189,7 +202,7 @@ func (w *redisWorkload) writer(env *Env, node int) {
 // intact and not behind the committed floor loaded before the read.
 func (w *redisWorkload) reader(env *Env, node int) {
 	n := env.Fab.Node(node)
-	v := w.attach(env, n)
+	v := w.attachLoop(env, n)
 	rng := env.Rand(uint64(0x60 + node))
 	ci := 0x600 + node
 	keys := len(w.floors)

@@ -20,6 +20,7 @@ const (
 	SubTorture
 	SubApp
 	SubRedis
+	SubMembership
 	numSubsys
 )
 
@@ -41,6 +42,8 @@ func (s Subsys) String() string {
 		return "app"
 	case SubRedis:
 		return "redis"
+	case SubMembership:
+		return "membership"
 	}
 	return fmt.Sprintf("sub(%d)", uint8(s))
 }
@@ -77,6 +80,15 @@ const (
 	// redis: arg0 = 64-bit key hash.
 	KSet // begin/end: one rack-store SET round trip; arg1 = value bytes
 	KGet // begin/end: one rack-store GET round trip; arg1 = value bytes (0 on miss)
+	// membership: arg0 = table slot.
+	KJoin    // a member activated (Joining -> Alive); arg1 = generation
+	KSuspect // a detector suspected the slot; arg1 = suspected node
+	KRefute  // the occupant refuted a suspicion; arg1 = new incarnation
+	KDead    // the rack declared the slot dead; arg1 = dead node
+	KLeft    // clean departure; arg1 = generation
+	KResync  // begin/end: a hot-plugged node's resync span; arg1 = node
+	// redis (membership-driven): arg0 = fenced node.
+	KViewFence // a dead node's views were fenced; arg1 = fence generation
 	numKinds
 )
 
@@ -118,6 +130,20 @@ func (k Kind) String() string {
 		return "set"
 	case KGet:
 		return "get"
+	case KJoin:
+		return "join"
+	case KSuspect:
+		return "suspect"
+	case KRefute:
+		return "refute"
+	case KDead:
+		return "dead"
+	case KLeft:
+		return "left"
+	case KResync:
+		return "resync"
+	case KViewFence:
+		return "view-fence"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
