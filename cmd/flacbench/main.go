@@ -14,6 +14,7 @@
 //	flacbench -experiment density      # ablation F: density-aware routing
 //	flacbench -experiment sched        # ablation G: coordinated scheduling
 //	flacbench -experiment redisrack    # rack-shared Redis: 1 vs N serving nodes
+//	flacbench -experiment redisscale   # open-loop scaling to 16 nodes + hot-key combining
 //	flacbench -experiment trace        # flight-recorder overhead budget
 //	flacbench -experiment membership   # failure detection vs per-subsystem recovery
 //	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
@@ -29,6 +30,10 @@
 //
 // The redisrack experiment also exits nonzero on a stale, torn or
 // backwards cross-node read, or a multi-node speedup under its gate.
+// The redisscale experiment exits nonzero on any integrity violation,
+// when hot-key combining misses its speedup gate at the gated node
+// count, or when achieved throughput fails to track offered load below
+// saturation.
 // The membership experiment exits nonzero on a zombie write leaking
 // through a generation fence, a detection/recovery timeout, a lost or
 // double-completed task, or membership recovery failing to beat the
@@ -49,7 +54,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|trace|membership|torture|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|redisscale|trace|membership|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
@@ -121,7 +126,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "trace", "membership", "torture"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "redisscale", "trace", "membership", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -133,7 +138,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "membership" {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "redisscale" || *exp == "membership" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -161,6 +166,24 @@ func main() {
 			res, failed = experiments.RedisRack(cfg)
 			if failed {
 				fmt.Fprintln(os.Stderr, "flacbench: redisrack observed a stale/torn/backwards read or missed its multi-node speedup gate")
+				exitCode = 1
+			}
+		} else if name == "redisscale" {
+			cfg := experiments.DefaultRedisScale()
+			if *quick {
+				cfg.NodeCounts = []int{1, 2, 4}
+				cfg.CombineNodes = 4
+				cfg.Rounds = 10
+				cfg.OpsPerRound = 32
+				// At 4 nodes and a tenth of the ops, fixed sweep costs
+				// amortize over far less fan-in; the smoke bar proves
+				// combining still wins, the full run enforces 1.5x.
+				cfg.CombineGate = 1.1
+			}
+			var failed bool
+			res, failed = experiments.RedisScale(cfg)
+			if failed {
+				fmt.Fprintln(os.Stderr, "flacbench: redisscale observed an integrity violation, missed the combining speedup gate, or failed to track offered load below saturation")
 				exitCode = 1
 			}
 		} else if name == "membership" {
@@ -192,8 +215,16 @@ func main() {
 			res = runners[name](*quick)
 		}
 		fmt.Println(res.String())
-		if *benchJSON && res.Bench != nil {
-			if err := writeBenchJSON(res.Bench); err != nil {
+		if *benchJSON {
+			if res.Bench == nil {
+				// An explicitly requested artifact that doesn't exist is an
+				// error, not a silent pass; under -experiment all only the
+				// experiments that publish headlines write files.
+				if *exp != "all" {
+					fmt.Fprintf(os.Stderr, "flacbench: -bench-json: %s publishes no bench headline\n", name)
+					exitCode = 1
+				}
+			} else if err := writeBenchJSON(res.Bench); err != nil {
 				fmt.Fprintf(os.Stderr, "flacbench: could not write bench JSON for %s: %v\n", name, err)
 				exitCode = 1
 			}
@@ -207,6 +238,9 @@ func main() {
 // BENCH_<name>.json — the machine-readable artifact CI uploads so the
 // bench trajectory is tracked across PRs.
 func writeBenchJSON(b *experiments.Bench) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("refusing to write malformed headline: %w", err)
+	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err

@@ -8,7 +8,9 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
+	"flacos/internal/loadgen"
 	"flacos/internal/metrics"
 )
 
@@ -33,6 +35,33 @@ type Bench struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50NS     float64 `json:"p50_ns"`
 	P99NS     float64 `json:"p99_ns"`
+	// Rows, when set, holds a sweep's full per-configuration series (the
+	// redisscale scaling curve: one row per node count and offered load).
+	Rows []loadgen.Row `json:"rows,omitempty"`
+}
+
+// Validate checks a Bench is a publishable artifact: named, with positive
+// finite headline numbers and well-formed rows. flacbench refuses to write
+// a bench JSON that fails this — a zeroed artifact sailing through CI
+// unnoticed is exactly the failure mode the check exists to close.
+func (b *Bench) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("bench has no name")
+	}
+	if !(b.OpsPerSec > 0) || math.IsInf(b.OpsPerSec, 0) {
+		return fmt.Errorf("bench %s: ops_per_sec %v is not positive and finite", b.Name, b.OpsPerSec)
+	}
+	if !(b.P50NS > 0) || !(b.P99NS >= b.P50NS) || math.IsInf(b.P99NS, 0) {
+		return fmt.Errorf("bench %s: malformed percentiles p50=%v p99=%v", b.Name, b.P50NS, b.P99NS)
+	}
+	for i, r := range b.Rows {
+		if r.Nodes <= 0 || !(r.OfferedLoad > 0) || !(r.AchievedOpsPerSec > 0) ||
+			r.P50NS == 0 || r.P99NS < r.P50NS || r.P999NS < r.P99NS ||
+			math.IsInf(r.OfferedLoad, 0) || math.IsInf(r.AchievedOpsPerSec, 0) {
+			return fmt.Errorf("bench %s: malformed row %d: %+v", b.Name, i, r)
+		}
+	}
+	return nil
 }
 
 func (r *Result) String() string {

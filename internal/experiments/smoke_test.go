@@ -3,6 +3,8 @@ package experiments
 import (
 	"math"
 	"testing"
+
+	"flacos/internal/loadgen"
 )
 
 // TestEveryExperimentQuickSmoke runs every registered experiment at
@@ -70,6 +72,14 @@ func TestEveryExperimentQuickSmoke(t *testing.T) {
 			}
 			return res
 		}},
+		{"redisscale", func() *Result {
+			cfg := quickRedisScale()
+			res, failed := RedisScale(cfg)
+			if failed {
+				t.Errorf("redisscale reported failure in smoke sizes:\n%s", res)
+			}
+			return res
+		}},
 		{"trace", func() *Result {
 			cfg := DefaultTrace()
 			cfg.EmitEvents = 5_000
@@ -129,6 +139,19 @@ func TestEveryExperimentQuickSmoke(t *testing.T) {
 	}
 }
 
+// quickRedisScale is the CI-quick redisscale configuration, matching
+// flacbench -quick: three node counts, a tenth of the full workload, and
+// the smoke-sized combining gate.
+func quickRedisScale() RedisScaleConfig {
+	cfg := DefaultRedisScale()
+	cfg.NodeCounts = []int{1, 2, 4}
+	cfg.CombineNodes = 4
+	cfg.Rounds = 10
+	cfg.OpsPerRound = 32
+	cfg.CombineGate = 1.1
+	return cfg
+}
+
 // TestMembershipBenchHeadline pins the membership experiment's
 // machine-readable contract: a Bench named "membership" whose
 // percentiles are the wall-clock crash->Dead detection latency.
@@ -178,5 +201,70 @@ func TestRedisRackBenchHeadline(t *testing.T) {
 	}
 	if b.P50NS <= 0 || b.P99NS < b.P50NS {
 		t.Errorf("percentiles p50=%v p99=%v", b.P50NS, b.P99NS)
+	}
+}
+
+// TestRedisScaleBenchHeadline pins the scaling sweep's machine-readable
+// contract: a Bench named "redisscale" carrying the full per-node-count,
+// per-offered-load row series, all of it passing Validate.
+func TestRedisScaleBenchHeadline(t *testing.T) {
+	cfg := quickRedisScale()
+	res, failed := RedisScale(cfg)
+	if failed {
+		t.Fatal("redisscale failed at smoke sizes")
+	}
+	b := res.Bench
+	if b == nil {
+		t.Fatal("redisscale result has no Bench headline")
+	}
+	if b.Name != "redisscale" {
+		t.Errorf("bench name %q", b.Name)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("headline fails Validate: %v", err)
+	}
+	wantRows := len(cfg.NodeCounts) * len(cfg.LoadFactors)
+	if len(b.Rows) != wantRows {
+		t.Errorf("got %d rows, want %d (node counts x load factors)", len(b.Rows), wantRows)
+	}
+	for _, r := range b.Rows {
+		if r.P99NS < r.P50NS || r.P999NS < r.P99NS {
+			t.Errorf("row %+v has disordered percentiles", r)
+		}
+	}
+}
+
+// TestBenchValidateRejectsMalformed locks the artifact guard: a zeroed or
+// half-filled Bench must not be writable as a bench JSON.
+func TestBenchValidateRejectsMalformed(t *testing.T) {
+	good := Bench{Name: "x", OpsPerSec: 10, P50NS: 5, P99NS: 9}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("well-formed bench rejected: %v", err)
+	}
+	bad := []Bench{
+		{},
+		{Name: "x"},
+		{Name: "x", OpsPerSec: -1, P50NS: 5, P99NS: 9},
+		{Name: "x", OpsPerSec: math.Inf(1), P50NS: 5, P99NS: 9},
+		{Name: "x", OpsPerSec: 10, P50NS: 0, P99NS: 9},
+		{Name: "x", OpsPerSec: 10, P50NS: 9, P99NS: 5},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("malformed bench %d passed Validate: %+v", i, b)
+		}
+	}
+	row := good
+	row.Rows = []loadgen.Row{{Nodes: 0, OfferedLoad: 1, AchievedOpsPerSec: 1, P50NS: 1, P99NS: 2, P999NS: 3}}
+	if err := row.Validate(); err == nil {
+		t.Error("bench with zero-node row passed Validate")
+	}
+	row.Rows = []loadgen.Row{{Nodes: 2, OfferedLoad: 1, AchievedOpsPerSec: 1, P50NS: 5, P99NS: 2, P999NS: 3}}
+	if err := row.Validate(); err == nil {
+		t.Error("bench with disordered row percentiles passed Validate")
+	}
+	row.Rows = []loadgen.Row{{Nodes: 2, OfferedLoad: 1, AchievedOpsPerSec: 1, P50NS: 1, P99NS: 2, P999NS: 3}}
+	if err := row.Validate(); err != nil {
+		t.Errorf("well-formed row rejected: %v", err)
 	}
 }

@@ -125,6 +125,32 @@ func (c *Client) PipeSet(key string, value []byte, ttl time.Duration) {
 // PipeGet queues a GET.
 func (c *Client) PipeGet(key string) { c.PipeCommand([]byte("GET"), []byte(key)) }
 
+// PipeMGet queues an MGET for keys; its Flush reply is one array Value.
+func (c *Client) PipeMGet(keys ...string) {
+	args := make([][]byte, 0, len(keys)+1)
+	args = append(args, []byte("MGET"))
+	for _, k := range keys {
+		args = append(args, []byte(k))
+	}
+	c.PipeCommand(args...)
+}
+
+// PipeMSet queues an MSET of the key/value pairs.
+func (c *Client) PipeMSet(pairs ...[]byte) {
+	if len(pairs)%2 != 0 {
+		panic("redis: PipeMSet needs key/value pairs")
+	}
+	args := make([][]byte, 0, len(pairs)+1)
+	args = append(args, []byte("MSET"))
+	args = append(args, pairs...)
+	c.PipeCommand(args...)
+}
+
+// PipeIncrBy queues an INCRBY.
+func (c *Client) PipeIncrBy(key string, delta int64) {
+	c.PipeCommand([]byte("INCRBY"), []byte(key), []byte(strconv.FormatInt(delta, 10)))
+}
+
 // Pending returns how many commands are queued for the next Flush.
 func (c *Client) Pending() int { return c.pipeN }
 
@@ -238,6 +264,52 @@ func (c *Client) Del(keys ...string) (int64, error) {
 func (c *Client) Incr(key string) (int64, error) {
 	v, err := c.roundTrip([]byte("INCR"), []byte(key))
 	return v.Int, err
+}
+
+// IncrBy adds delta to the integer at key.
+func (c *Client) IncrBy(key string, delta int64) (int64, error) {
+	v, err := c.roundTrip([]byte("INCRBY"), []byte(key),
+		[]byte(strconv.FormatInt(delta, 10)))
+	return v.Int, err
+}
+
+// MGet fetches keys in one round trip (nil = miss).
+func (c *Client) MGet(keys ...string) ([][]byte, error) {
+	args := make([][]byte, 0, len(keys)+1)
+	args = append(args, []byte("MGET"))
+	for _, k := range keys {
+		args = append(args, []byte(k))
+	}
+	v, err := c.roundTrip(args...)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != respArray {
+		return nil, fmt.Errorf("redis: unexpected MGET reply kind %q", v.Kind)
+	}
+	vals := make([][]byte, len(v.Array))
+	for i, e := range v.Array {
+		vals[i] = e.Bulk
+	}
+	return vals, nil
+}
+
+// MSet stores the key/value pairs in one round trip.
+func (c *Client) MSet(pairs ...[]byte) error {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		return errors.New("redis: MSet needs key/value pairs")
+	}
+	args := make([][]byte, 0, len(pairs)+1)
+	args = append(args, []byte("MSET"))
+	args = append(args, pairs...)
+	v, err := c.roundTrip(args...)
+	if err != nil {
+		return err
+	}
+	if v.Str != "OK" {
+		return fmt.Errorf("redis: unexpected MSET reply %q", v.Str)
+	}
+	return nil
 }
 
 // Exists reports how many of keys exist.

@@ -1,0 +1,208 @@
+package redis
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flacos/internal/flacdk/delegation"
+	"flacos/internal/histcheck"
+)
+
+// Linearizability histories for the hot-key combining path. The combining
+// owner serves whole sweeps with one store operation per key, handing out
+// synthesized intermediate results — precisely the kind of shortcut that
+// could hide a stale read or a lost increment, so the histories here are
+// checked by the real decision procedure (histcheck's Wing&Gong search),
+// not hand-rolled floors. Run under -race (CI does): clients spin on
+// their slots while the owner sweeps, the maximal interleaving stress.
+
+// combineServeLoop runs the owner's sweep loop until stop is set, then
+// drains one final sweep so no posted request is orphaned.
+func combineServeLoop(cb *Combiner, stop *atomic.Bool) {
+	for !stop.Load() {
+		if cb.ServeSweep() == 0 {
+			runtime.Gosched()
+		}
+	}
+	cb.ServeSweep()
+}
+
+// TestCombineLinearizableIncr hammers one hot counter through the
+// combining path from every node. The KV model forces the combined
+// replies to be exactly 1..N*M, each exactly once, in an order consistent
+// with real time: a double-applied or dropped increment inside a combined
+// batch cannot linearize.
+func TestCombineLinearizableIncr(t *testing.T) {
+	const (
+		nodes   = 4
+		workers = 6
+		each    = 150
+	)
+	f, s := newTestRackStore(t, nodes, RackStoreConfig{MaxViews: 16})
+	dom := delegation.NewDomain(f, workers)
+	cb := NewCombiner(s.Attach(f.Node(0)), dom)
+	rec := histcheck.NewRecorder()
+
+	var stop atomic.Bool
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() { defer serveWG.Done(); combineServeLoop(cb, &stop) }()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc := NewCombineClient(dom, f.Node(1+w%(nodes-1)), w)
+			for i := 0; i < each; i++ {
+				p := rec.Begin(w, histcheck.KVInput{Op: histcheck.KVIncr, Key: "hot"})
+				got, err := cc.IncrBy("hot", 1)
+				p.End(histcheck.KVOutput{Val: uint64(got)})
+				if err != nil {
+					t.Errorf("worker %d: combined incr: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	serveWG.Wait()
+
+	if res := histcheck.Check(histcheck.KVModel(), rec.Operations()); !res.Ok {
+		t.Fatal(res.Info)
+	}
+	// Ground truth: the arena counter holds exactly N*M — every combined
+	// increment was published exactly once.
+	v := s.Attach(f.Node(1))
+	b, ok := v.Get("hot")
+	if !ok {
+		t.Fatal("hot counter missing after combined increments")
+	}
+	if got, err := strconv.ParseInt(string(b), 10, 64); err != nil || got != workers*each {
+		t.Fatalf("final counter %s (err %v), want %d", b, err, workers*each)
+	}
+}
+
+// TestCombineLinearizableGetFreshness runs a direct writer against
+// combined readers: every combined GET must observe a value at least as
+// fresh as any SET that completed before the GET began. A combiner that
+// served reads from a cached copy instead of the arena would fail here.
+func TestCombineLinearizableGetFreshness(t *testing.T) {
+	const (
+		nodes   = 4
+		writes  = 250
+		readers = 5
+	)
+	f, s := newTestRackStore(t, nodes, RackStoreConfig{MaxViews: 16})
+	dom := delegation.NewDomain(f, readers)
+	cb := NewCombiner(s.Attach(f.Node(0)), dom)
+	rec := histcheck.NewRecorder()
+
+	var stop atomic.Bool
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() { defer serveWG.Done(); combineServeLoop(cb, &stop) }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := s.Attach(f.Node(1))
+		for seq := uint64(1); seq <= writes; seq++ {
+			p := rec.Begin(0, histcheck.KVInput{Op: histcheck.KVSet, Key: "fresh", Val: seq})
+			err := v.Set("fresh", []byte(strconv.FormatUint(seq, 10)), 0)
+			p.End(histcheck.KVOutput{})
+			if err != nil {
+				t.Errorf("set seq %d: %v", seq, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cc := NewCombineClient(dom, f.Node(1+r%(nodes-1)), r)
+			for i := 0; i < writes; i++ {
+				p := rec.Begin(1+r, histcheck.KVInput{Op: histcheck.KVGet, Key: "fresh"})
+				b, ok, err := cc.Get("fresh")
+				if err != nil {
+					t.Errorf("reader %d: combined get: %v", r, err)
+					return
+				}
+				if !ok {
+					p.End(histcheck.KVOutput{})
+					continue
+				}
+				seq, perr := strconv.ParseUint(string(b), 10, 64)
+				if perr != nil {
+					t.Errorf("reader %d: torn value %q", r, b)
+					return
+				}
+				p.End(histcheck.KVOutput{Val: seq, Found: true})
+			}
+		}(r)
+	}
+	wg.Wait()
+	stop.Store(true)
+	serveWG.Wait()
+
+	if res := histcheck.Check(histcheck.KVModel(), rec.Operations()); !res.Ok {
+		t.Fatal(res.Info)
+	}
+}
+
+// TestCombineBrokenFlushCaught is the checker's self-test: with
+// SetBrokenSkipCombineFlush the owner computes combined increments in
+// private state and skips the arena publish — a missing write-back, the
+// non-coherent fabric's signature bug. The recorded history must FAIL the
+// linearizability check (an acknowledged increment no read can observe),
+// proving the harness can actually catch the failure mode it exists for.
+func TestCombineBrokenFlushCaught(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{MaxViews: 8})
+	dom := delegation.NewDomain(f, 1)
+	cb := NewCombiner(s.Attach(f.Node(0)), dom)
+	cb.SetBrokenSkipCombineFlush(true)
+	rec := histcheck.NewRecorder()
+
+	cc := NewCombineClient(dom, f.Node(1), 0)
+	for i := 0; i < 3; i++ {
+		p := rec.Begin(0, histcheck.KVInput{Op: histcheck.KVIncr, Key: "lost"})
+		cc.PostIncrBy("lost", 1)
+		if served := cb.ServeSweep(); served != 1 {
+			t.Fatalf("sweep served %d, want 1", served)
+		}
+		got, done, err := cc.TryIncr()
+		if err != nil || !done {
+			t.Fatalf("broken combined incr: (%v, %v)", done, err)
+		}
+		p.End(histcheck.KVOutput{Val: uint64(got)})
+	}
+	// The increments were acknowledged; a direct read must now see them —
+	// but the broken combiner never published, so it sees a miss.
+	v := s.Attach(f.Node(1))
+	p := rec.Begin(1, histcheck.KVInput{Op: histcheck.KVGet, Key: "lost"})
+	b, ok := v.Get("lost")
+	out := histcheck.KVOutput{}
+	if ok {
+		seq, err := strconv.ParseUint(string(b), 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable counter %q", b)
+		}
+		out = histcheck.KVOutput{Val: seq, Found: true}
+	}
+	p.End(out)
+
+	res := histcheck.Check(histcheck.KVModel(), rec.Operations())
+	if res.Ok {
+		t.Fatal("checker accepted a history with acknowledged-but-unpublished increments; the broken combiner went uncaught")
+	}
+	if testing.Verbose() {
+		fmt.Println("broken-flush counterexample:", res.Info)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,124 @@ func FuzzRESPDecode(f *testing.F) {
 		if err2 != nil || n2 != n || !reflect.DeepEqual(v, v2) {
 			t.Fatalf("Decode(%q) not self-delimiting: prefix gave (%+v,%d,%v), full gave (%+v,%d)",
 				data, v2, n2, err2, v, n)
+		}
+	})
+}
+
+// FuzzBatchCommandDecode feeds hostile batch framings to ExecuteBatch:
+// truncated commands, overflow-inducing lengths, garbage between commands.
+// Properties: (1) never panic; (2) the reply stream is itself a fully
+// self-delimiting RESP sequence; (3) the reply count matches the number of
+// decodable commands in the input prefix, plus exactly one poisoned error
+// when the stream breaks mid-batch. Then the same fuzz bytes drive a
+// structured phase: MSET/MGET/INCRBY built from the data are pipelined as
+// one batch and the interleaved replies must decode with the right shapes.
+func FuzzBatchCommandDecode(f *testing.F) {
+	for _, s := range respSeeds {
+		f.Add([]byte(s))
+	}
+	// Whole-batch seeds: MSET+MGET+INCRBY pipelines, truncation mid-frame.
+	f.Add([]byte("*5\r\n$4\r\nMSET\r\n$1\r\na\r\n$1\r\n1\r\n$1\r\nb\r\n$1\r\n2\r\n*3\r\n$4\r\nMGET\r\n$1\r\na\r\n$1\r\nb\r\n"))
+	f.Add([]byte("*3\r\n$6\r\nINCRBY\r\n$1\r\nc\r\n$2\r\n-7\r\n*3\r\n$6\r\nINCRBY\r\n$1\r\nc\r\n$19\r\n9223372036854775807\r\n"))
+	f.Add([]byte("*3\r\n$4\r\nMGET\r\n$1\r\na\r\n$1\r\nb\r\n*2\r\n$4\r\nMGET\r\n$300\r\ntruncated"))
+	f.Add([]byte("+inline\r\n*1\r\n$4\r\nPING\r\n:42\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewServer(NewStore())
+		out := s.ExecuteBatch(nil, data)
+
+		// Count how many commands the batch loop could have consumed, and
+		// whether it then hit a decode error (which poisons the remainder).
+		cmds, poisoned := 0, false
+		for rest := data; len(rest) > 0; {
+			_, n, err := Decode(rest)
+			if err != nil {
+				poisoned = true
+				break
+			}
+			cmds++
+			rest = rest[n:]
+		}
+
+		replies := 0
+		for rest := out; len(rest) > 0; {
+			_, n, err := Decode(rest)
+			if err != nil {
+				t.Fatalf("ExecuteBatch(%q) produced undecodable reply stream at %q", data, rest)
+			}
+			replies++
+			rest = rest[n:]
+		}
+		want := cmds
+		if poisoned {
+			want++ // the single "ERR protocol error" that ends the batch
+		}
+		if replies != want {
+			t.Fatalf("ExecuteBatch(%q): %d replies for %d commands (poisoned=%v)", data, replies, cmds, poisoned)
+		}
+
+		// Structured phase: fuzz-derived keys/values pipelined as
+		// MSET(pairs) ; MGET(keys) ; INCRBY ctr <delta> ; MGET(keys).
+		fields := bytes.Split(data, []byte{0xff})
+		if len(fields) > 16 {
+			fields = fields[:16]
+		}
+		if len(fields)%2 == 1 {
+			fields = append(fields, []byte("pad"))
+		}
+		// Keys get a "k:" prefix so a fuzz-chosen key can never collide
+		// with the INCRBY counter.
+		keys := make([][]byte, 0, len(fields)/2)
+		msetArgs := [][]byte{[]byte("MSET")}
+		for i := 0; i < len(fields); i += 2 {
+			k := append([]byte("k:"), fields[i]...)
+			keys = append(keys, k)
+			msetArgs = append(msetArgs, k, fields[i+1])
+		}
+		mgetArgs := append([][]byte{[]byte("MGET")}, keys...)
+		var pad [8]byte
+		copy(pad[:], data)
+		delta := int64(binary.LittleEndian.Uint64(pad[:])) % 1000
+		batch := AppendCommand(nil, msetArgs...)
+		batch = AppendCommand(batch, mgetArgs...)
+		batch = AppendCommand(batch, []byte("INCRBY"), []byte("ctr"), []byte(strconv.FormatInt(delta, 10)))
+		batch = AppendCommand(batch, mgetArgs...)
+
+		out = s.ExecuteBatch(nil, batch)
+		var vals []Value
+		for rest := out; len(rest) > 0; {
+			v, n, err := Decode(rest)
+			if err != nil {
+				t.Fatalf("structured batch reply undecodable at %q", rest)
+			}
+			vals = append(vals, v)
+			rest = rest[n:]
+		}
+		if len(vals) != 4 {
+			t.Fatalf("structured batch: %d replies, want 4", len(vals))
+		}
+		if vals[0].Kind != respSimple || vals[0].Str != "OK" {
+			t.Fatalf("MSET reply = %+v, want +OK", vals[0])
+		}
+		for _, i := range []int{1, 3} {
+			if vals[i].Kind != respArray || len(vals[i].Array) != len(keys) {
+				t.Fatalf("MGET reply %d = kind %q with %d elems, want array of %d", i, vals[i].Kind, len(vals[i].Array), len(keys))
+			}
+		}
+		// Every MSET key must read back; duplicate keys resolve to the
+		// LAST written value (later pair wins), so check against that.
+		last := make(map[string][]byte, len(keys))
+		for i := 0; i < len(fields); i += 2 {
+			last["k:"+string(fields[i])] = fields[i+1]
+		}
+		for i, k := range keys {
+			got := vals[3].Array[i]
+			want := last[string(k)]
+			if got.Kind != respBulk || got.Bulk == nil && len(want) > 0 || !bytes.Equal(got.Bulk, want) {
+				t.Fatalf("MGET[%d] key %q = %q, want %q", i, k, got.Bulk, want)
+			}
+		}
+		if vals[2].Kind != respInt || vals[2].Int != delta {
+			t.Fatalf("INCRBY reply = %+v, want :%d", vals[2], delta)
 		}
 	})
 }

@@ -197,9 +197,9 @@ func (s *RackStore) Len(n *fabric.Node) int { return int(n.AtomicLoad64(s.liveG)
 // so a redis.Server can execute commands directly against the shared
 // dataset from any node. Not safe for concurrent use — one per goroutine.
 type View struct {
-	s  *RackStore
-	n  *fabric.Node
-	na *alloc.NodeAllocator
+	s   *RackStore
+	n   *fabric.Node
+	na  *alloc.NodeAllocator
 	p   *quiescence.Participant
 	id  int
 	gen uint64 // membership generation this view writes under (fence.go)
@@ -488,6 +488,24 @@ func (v *View) Get(key string) ([]byte, bool) {
 	return val, ok
 }
 
+// MGet returns the values for keys in order (nil = miss), resolving the
+// whole batch inside ONE quiescence read section and one epoch tick — the
+// per-op overhead a pipelined client pays N times through Get is paid
+// once, which is what makes MGET cheaper than N GETs on the rack store.
+func (v *View) MGet(keys ...string) [][]byte {
+	vals := make([][]byte, len(keys))
+	v.p.Enter()
+	for i, key := range keys {
+		pr := v.probe(key)
+		if !pr.entry.IsNil() && !pr.hdr.deleted() && !v.expired(pr.hdr) {
+			_, vals[i] = v.readBody(pr.entry, pr.hdr)
+		}
+	}
+	v.p.Exit()
+	v.tick()
+	return vals
+}
+
 // Exists reports how many of the keys exist (live and unexpired).
 func (v *View) Exists(keys ...string) int {
 	n := 0
@@ -555,7 +573,14 @@ func (v *View) del1(key string) bool {
 // Incr atomically increments the integer stored at key, returning the new
 // value; missing (or expired) keys start at 0. The TTL of a live key is
 // preserved, like real Redis.
-func (v *View) Incr(key string) (int64, error) {
+func (v *View) Incr(key string) (int64, error) { return v.IncrBy(key, 1) }
+
+// IncrBy atomically adds delta to the integer stored at key, returning
+// the new value. One IncrBy publishes ONE fresh entry block however large
+// delta is — it is the combining primitive: an owner that has gathered N
+// delegated increments applies them with a single probe/alloc/publish
+// round instead of N contended ones.
+func (v *View) IncrBy(key string, delta int64) (int64, error) {
 	for {
 		if v.fenced() {
 			return 0, ErrFenced
@@ -575,7 +600,7 @@ func (v *View) Incr(key string) (int64, error) {
 			cur = parsed
 			exp = pr.hdr.exp
 		}
-		next := cur + 1
+		next := cur + delta
 		nblk := v.newEntry(key, []byte(strconv.FormatInt(next, 10)), exp, false)
 		if pr.entry.IsNil() {
 			if _, inserted := v.s.index.PutIfAbsent(v.n, pr.sk, uint64(nblk)); inserted {

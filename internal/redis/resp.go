@@ -68,6 +68,14 @@ func AppendBulk(dst, b []byte) []byte {
 	return append(dst, '\r', '\n')
 }
 
+// AppendArrayHeader encodes an array header for n elements; the caller
+// appends the n element encodings after it (MGET replies).
+func AppendArrayHeader(dst []byte, n int) []byte {
+	dst = append(dst, respArray)
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, '\r', '\n')
+}
+
 // AppendSimple encodes a simple string ("+OK\r\n").
 func AppendSimple(dst []byte, s string) []byte {
 	dst = append(dst, respSimple)
@@ -75,10 +83,19 @@ func AppendSimple(dst []byte, s string) []byte {
 	return append(dst, '\r', '\n')
 }
 
-// AppendError encodes an error reply.
+// AppendError encodes an error reply. Error text is line-framed, so any
+// CR/LF smuggled in via user data (an unknown command named "A\r\nB")
+// would desynchronize the whole reply stream; those bytes are replaced
+// with spaces.
 func AppendError(dst []byte, msg string) []byte {
 	dst = append(dst, respError)
-	dst = append(dst, msg...)
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c == '\r' || c == '\n' {
+			c = ' '
+		}
+		dst = append(dst, c)
+	}
 	return append(dst, '\r', '\n')
 }
 

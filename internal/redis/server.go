@@ -22,9 +22,16 @@ type Conn interface {
 type Backend interface {
 	Set(key string, value []byte, ttl time.Duration) error
 	Get(key string) ([]byte, bool)
+	// MGet resolves a whole key batch at once (nil = miss); the rack
+	// store answers it inside one epoch section, so MGET is genuinely
+	// cheaper than N GETs, not just one transport round trip.
+	MGet(keys ...string) [][]byte
 	Del(keys ...string) int
 	Exists(keys ...string) int
 	Incr(key string) (int64, error)
+	// IncrBy adds delta in one published write — the primitive a
+	// combining owner uses to apply a gathered increment batch.
+	IncrBy(key string, delta int64) (int64, error)
 	Len() int
 }
 
@@ -127,6 +134,27 @@ func (s *Server) executeValue(out []byte, v Value) []byte {
 			return AppendBulk(out, nil)
 		}
 		return AppendBulk(out, val)
+	case "MGET":
+		if len(args) < 2 {
+			return AppendError(out, "ERR wrong number of arguments for 'mget'")
+		}
+		keys := bulkKeys(args[1:])
+		vals := s.store.MGet(keys...)
+		out = AppendArrayHeader(out, len(vals))
+		for _, v := range vals {
+			out = AppendBulk(out, v)
+		}
+		return out
+	case "MSET":
+		if len(args) < 3 || len(args)%2 == 0 {
+			return AppendError(out, "ERR wrong number of arguments for 'mset'")
+		}
+		for i := 1; i < len(args); i += 2 {
+			if err := s.store.Set(string(args[i].Bulk), args[i+1].Bulk, 0); err != nil {
+				return AppendError(out, "ERR "+err.Error())
+			}
+		}
+		return AppendSimple(out, "OK")
 	case "DEL":
 		keys := bulkKeys(args[1:])
 		return AppendInt(out, int64(s.store.Del(keys...)))
@@ -138,6 +166,19 @@ func (s *Server) executeValue(out []byte, v Value) []byte {
 			return AppendError(out, "ERR wrong number of arguments for 'incr'")
 		}
 		v, err := s.store.Incr(string(args[1].Bulk))
+		if err != nil {
+			return AppendError(out, "ERR value is not an integer or out of range")
+		}
+		return AppendInt(out, v)
+	case "INCRBY":
+		if len(args) != 3 {
+			return AppendError(out, "ERR wrong number of arguments for 'incrby'")
+		}
+		delta, err := strconv.ParseInt(string(args[2].Bulk), 10, 64)
+		if err != nil {
+			return AppendError(out, "ERR value is not an integer or out of range")
+		}
+		v, err := s.store.IncrBy(string(args[1].Bulk), delta)
 		if err != nil {
 			return AppendError(out, "ERR value is not an integer or out of range")
 		}

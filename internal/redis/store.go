@@ -106,9 +106,28 @@ func (s *Store) Exists(keys ...string) int {
 	return n
 }
 
+// MGet returns the values for keys in order (nil = miss) under one lock
+// acquisition, matching the rack store's batched read.
+func (s *Store) MGet(keys ...string) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		if s.expiredLocked(k) {
+			continue
+		}
+		vals[i] = s.data[k]
+	}
+	return vals
+}
+
 // Incr atomically increments the integer stored at key, returning the new
 // value; missing keys start at 0.
-func (s *Store) Incr(key string) (int64, error) {
+func (s *Store) Incr(key string) (int64, error) { return s.IncrBy(key, 1) }
+
+// IncrBy atomically adds delta to the integer stored at key, returning
+// the new value.
+func (s *Store) IncrBy(key string, delta int64) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expiredLocked(key)
@@ -120,7 +139,7 @@ func (s *Store) Incr(key string) (int64, error) {
 		}
 		cur = parsed
 	}
-	cur++
+	cur += delta
 	s.data[key] = []byte(strconv.FormatInt(cur, 10))
 	return cur, nil
 }

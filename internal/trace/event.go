@@ -78,8 +78,9 @@ const (
 	// app: free-form marks from tests and experiments.
 	KMark
 	// redis: arg0 = 64-bit key hash.
-	KSet // begin/end: one rack-store SET round trip; arg1 = value bytes
-	KGet // begin/end: one rack-store GET round trip; arg1 = value bytes (0 on miss)
+	KSet     // begin/end: one rack-store SET round trip; arg1 = value bytes
+	KGet     // begin/end: one rack-store GET round trip; arg1 = value bytes (0 on miss)
+	KCombine // begin/end: one combined hot-key batch at the owner; arg1 = fan-in
 	// membership: arg0 = table slot.
 	KJoin    // a member activated (Joining -> Alive); arg1 = generation
 	KSuspect // a detector suspected the slot; arg1 = suspected node
@@ -130,6 +131,8 @@ func (k Kind) String() string {
 		return "set"
 	case KGet:
 		return "get"
+	case KCombine:
+		return "combine"
 	case KJoin:
 		return "join"
 	case KSuspect:
