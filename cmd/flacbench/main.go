@@ -15,6 +15,7 @@
 //	flacbench -experiment sched        # ablation G: coordinated scheduling
 //	flacbench -experiment redisrack    # rack-shared Redis: 1 vs N serving nodes
 //	flacbench -experiment redisscale   # open-loop scaling to 16 nodes + hot-key combining
+//	flacbench -experiment tiering      # hotness-tiered placement daemon vs static tiers
 //	flacbench -experiment trace        # flight-recorder overhead budget
 //	flacbench -experiment membership   # failure detection vs per-subsystem recovery
 //	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
@@ -33,6 +34,10 @@
 // The redisscale experiment exits nonzero on any integrity violation,
 // when hot-key combining misses its speedup gate at the gated node
 // count, or when achieved throughput fails to track offered load below
+// saturation.
+// The tiering experiment exits nonzero on a stale, torn or lost record,
+// a daemon/static speedup under its gate, a daemon that never moved a
+// page, or achieved throughput failing to track offered load below
 // saturation.
 // The membership experiment exits nonzero on a zombie write leaking
 // through a generation fence, a detection/recovery timeout, a lost or
@@ -54,7 +59,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|redisscale|trace|membership|torture|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|redisscale|tiering|trace|membership|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
@@ -126,7 +131,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "redisscale", "trace", "membership", "torture"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "redisscale", "tiering", "trace", "membership", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -138,7 +143,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "redisscale" || *exp == "membership" {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "redisscale" || *exp == "tiering" || *exp == "membership" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -184,6 +189,25 @@ func main() {
 			res, failed = experiments.RedisScale(cfg)
 			if failed {
 				fmt.Fprintln(os.Stderr, "flacbench: redisscale observed an integrity violation, missed the combining speedup gate, or failed to track offered load below saturation")
+				exitCode = 1
+			}
+		} else if name == "tiering" {
+			cfg := experiments.DefaultTiering()
+			if *quick {
+				// A sixty-fourth of the span and a twenty-fifth of the ops:
+				// the same Zipf shape, but fixed per-move costs amortize over
+				// far fewer accesses, so the smoke bar proves the daemon
+				// still wins while the full run enforces 1.3x.
+				cfg.SpanPages = 1 << 14
+				cfg.Ops = 120_000
+				cfg.Rounds = 12
+				cfg.LocalPagesPerNode = 1024
+				cfg.Gate = 1.15
+			}
+			var failed bool
+			res, failed = experiments.Tiering(cfg)
+			if failed {
+				fmt.Fprintln(os.Stderr, "flacbench: tiering observed a stale/torn/lost record, missed its daemon/static speedup gate, never moved a page, or failed to track offered load below saturation")
 				exitCode = 1
 			}
 		} else if name == "membership" {

@@ -66,6 +66,5 @@ func main() {
 	fmt.Printf("  file on disk     : %q (untouched)\n", fileHead)
 	fmt.Printf("  node 1's frame   : %#x (private copy, was %#x)\n",
 		mmuB.PTEOf(va).GlobalPhys(), frameB)
-	_, _, _, cow, _, _, _ := mmuB.Stats()
-	fmt.Printf("  COW breaks on node 1: %d\n", cow)
+	fmt.Printf("  COW breaks on node 1: %d\n", mmuB.Stats().COWBreaks)
 }

@@ -80,6 +80,14 @@ func TestEveryExperimentQuickSmoke(t *testing.T) {
 			}
 			return res
 		}},
+		{"tiering", func() *Result {
+			cfg := quickTiering()
+			res, failed := Tiering(cfg)
+			if failed {
+				t.Errorf("tiering reported failure in smoke sizes:\n%s", res)
+			}
+			return res
+		}},
 		{"trace", func() *Result {
 			cfg := DefaultTrace()
 			cfg.EmitEvents = 5_000
@@ -150,6 +158,68 @@ func quickRedisScale() RedisScaleConfig {
 	cfg.OpsPerRound = 32
 	cfg.CombineGate = 1.1
 	return cfg
+}
+
+// quickTiering is the unit-test tiering configuration: the flacbench
+// -quick shape shrunk again so the smoke registry stays fast. The gate
+// is looser than -quick's 1.15 because at a few thousand pages the
+// daemon's fixed per-move costs amortize over very few accesses.
+func quickTiering() TieringConfig {
+	cfg := DefaultTiering()
+	cfg.SpanPages = 1 << 12
+	cfg.Ops = 24_000
+	cfg.Rounds = 8
+	cfg.LocalPagesPerNode = 256
+	cfg.MaxMovesPerStep = 4096
+	cfg.Gate = 1.05
+	return cfg
+}
+
+// TestTieringBenchHeadline pins the tiering experiment's machine-readable
+// contract behind flacbench -bench-json: a Bench named "tiering" whose
+// throughput is the daemon phase's virtual capacity, with the open-loop
+// sweep attached as rows.
+func TestTieringBenchHeadline(t *testing.T) {
+	t.Parallel()
+	res, failed := Tiering(quickTiering())
+	if failed {
+		t.Fatalf("tiering failed at smoke sizes:\n%s", res)
+	}
+	b := res.Bench
+	if b == nil {
+		t.Fatal("tiering result has no Bench headline")
+	}
+	if b.Name != "tiering" {
+		t.Errorf("bench name %q", b.Name)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("headline fails Validate: %v", err)
+	}
+	if len(b.Rows) != len(DefaultTiering().LoadFactors) {
+		t.Errorf("got %d sweep rows, want %d", len(b.Rows), len(DefaultTiering().LoadFactors))
+	}
+}
+
+// TestTieringDeterministic locks the experiment's reproducibility claim:
+// the whole pipeline — workload generation, both phases, daemon decisions,
+// open-loop replay — is a pure function of the seed, so two runs at the
+// same configuration must render bit-identical tables and ratios.
+func TestTieringDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := quickTiering()
+	a, aFailed := Tiering(cfg)
+	b, bFailed := Tiering(cfg)
+	if aFailed != bFailed {
+		t.Errorf("verdict differs across identical runs: %v vs %v", aFailed, bFailed)
+	}
+	if a.String() != b.String() {
+		t.Errorf("renderings differ across identical runs:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	for k, v := range a.Ratios {
+		if b.Ratios[k] != v {
+			t.Errorf("ratio %q differs: %v vs %v", k, v, b.Ratios[k])
+		}
+	}
 }
 
 // TestMembershipBenchHeadline pins the membership experiment's

@@ -1,0 +1,497 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/alloc"
+	"flacos/internal/loadgen"
+	"flacos/internal/memsys"
+	"flacos/internal/metrics"
+	"flacos/internal/tiering"
+)
+
+// TieringConfig parameterizes the hotness-tiered placement experiment.
+type TieringConfig struct {
+	// Nodes is the rack size (one accessor worker per node).
+	Nodes int
+	// SpanPages is the mapped span, in pages; must be a power of two.
+	// The full configuration maps over a million pages so tier placement
+	// is a capacity problem, not a cache curiosity.
+	SpanPages int
+	// Ops is the total measured page accesses per phase.
+	Ops int
+	// Rounds splits Ops into barriered rounds; the daemon steps once per
+	// round boundary, on deterministic virtual time.
+	Rounds int
+	// Skew is the Zipfian exponent of the page-popularity distribution.
+	Skew float64
+	// HomeFrac is the probability a page's round is served by its home
+	// node (the page's dominant accessor); the rest of the rounds go to a
+	// random other node. Accessor choice is per (page, round), so one
+	// round never has two nodes fighting over a page — migration churn
+	// comes from round-to-round accessor changes, as in a real scheduler.
+	HomeFrac float64
+	// ReadFrac is the per-op probability of a read (vs a write).
+	ReadFrac float64
+	// WarmFrac sizes the premium ("warm") global tier as a fraction of the
+	// span. The static baseline keeps an address-ordered WarmFrac slice of
+	// the span warm; the daemon phase gets the same capacity as its warm
+	// budget and must EARN better placement by observing access heat.
+	WarmFrac float64
+	// LocalPagesPerNode is the daemon's node-local DRAM budget per node.
+	LocalPagesPerNode int
+	// MaxMovesPerStep bounds the daemon's per-step migration batch.
+	MaxMovesPerStep int
+	// LoadFactors are the open-loop offered loads, as fractions of the
+	// daemon phase's measured capacity. Factors <= 0.8 gate on achieved
+	// >= 0.95x offered; factors > 1 exist to show the saturation knee.
+	LoadFactors []float64
+	// Gate is the daemon/static speedup the experiment must reach.
+	Gate float64
+	// Seed drives every stream; same seed, same bits out.
+	Seed uint64
+}
+
+// DefaultTiering is the acceptance configuration: 4 nodes, a 1M-page
+// (4 GiB) span, 3M accesses at Zipf 0.99, speedup gate 1.3x.
+func DefaultTiering() TieringConfig {
+	return TieringConfig{
+		Nodes:             4,
+		SpanPages:         1 << 20,
+		Ops:               3_000_000,
+		Rounds:            24,
+		Skew:              0.99,
+		HomeFrac:          0.95,
+		ReadFrac:          0.7,
+		WarmFrac:          0.25,
+		LocalPagesPerNode: 24576,
+		MaxMovesPerStep:   16384,
+		LoadFactors:       []float64{0.5, 0.8, 1.2},
+		Gate:              1.3,
+		Seed:              1,
+	}
+}
+
+// tierOp is one generated access.
+type tierOp struct {
+	page  uint32
+	write bool
+}
+
+// tierPlan is the pre-generated workload both phases replay: per round,
+// per node, the access list. Generated once, single-threaded, so the two
+// phases run the IDENTICAL op sequence and differ only in placement.
+type tierPlan struct {
+	rounds  [][][]tierOp
+	perNode []int // total ops per node
+	total   int
+}
+
+const tierRecordBytes = 64
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// tierHome is a page's home node: its dominant accessor across the run.
+func tierHome(cfg *TieringConfig, page uint32) int {
+	return int(mix64(uint64(page)^cfg.Seed*0x9E3779B97F4A7C15) % uint64(cfg.Nodes))
+}
+
+// tierAccessor picks the ONE node that serves page's accesses in round r.
+func tierAccessor(cfg *TieringConfig, page uint32, round int) int {
+	home := tierHome(cfg, page)
+	h := mix64(uint64(page)<<24 ^ uint64(round)*0x100000001b3 ^ cfg.Seed)
+	if float64(h&0xFFFFF)/float64(1<<20) < cfg.HomeFrac || cfg.Nodes == 1 {
+		return home
+	}
+	return (home + 1 + int((h>>24)%uint64(cfg.Nodes-1))) % cfg.Nodes
+}
+
+// tierPermute maps a Zipf rank to a page number bijectively (odd
+// multiplier over a power-of-two span), so page ADDRESS order carries no
+// hotness information — the static baseline's address-ordered warm set is
+// a fair, uninformed 25% sample, not an accidental oracle.
+func tierPermute(rank, span int) uint32 {
+	return uint32((uint64(rank) * 0x9E3779B97F4A7C15) & uint64(span-1))
+}
+
+func generateTierPlan(cfg *TieringConfig) *tierPlan {
+	zipf := loadgen.NewZipf(loadgen.NewRand(cfg.Seed), cfg.SpanPages, cfg.Skew)
+	rnd := loadgen.NewRand(cfg.Seed + 1)
+	perRound := cfg.Ops / cfg.Rounds
+	p := &tierPlan{perNode: make([]int, cfg.Nodes)}
+	for r := 0; r < cfg.Rounds; r++ {
+		byNode := make([][]tierOp, cfg.Nodes)
+		for i := 0; i < perRound; i++ {
+			page := tierPermute(zipf.Next(), cfg.SpanPages)
+			node := tierAccessor(cfg, page, r)
+			byNode[node] = append(byNode[node], tierOp{page: page, write: rnd.Float64() >= cfg.ReadFrac})
+			p.perNode[node]++
+			p.total++
+		}
+		p.rounds = append(p.rounds, byNode)
+	}
+	return p
+}
+
+// tierPhase is one placement policy's measured run.
+type tierPhase struct {
+	daemon bool
+
+	makespanNS    uint64
+	opsPerSec     float64
+	meanServiceNS []uint64
+
+	stale, torn, lost int
+	migrations        uint64
+	dstats            tiering.Stats
+	census            [4]int // final page count per memsys.Tier
+}
+
+func (p *tierPhase) mode() string {
+	if p.daemon {
+		return "daemon"
+	}
+	return "static"
+}
+
+func (p *tierPhase) violations() int { return p.stale + p.torn + p.lost }
+
+// replayOps expands the phase's measured service profile into an open-loop
+// Poisson schedule at the offered load (the redisscale methodology).
+func (p *tierPhase) replayOps(cfg *TieringConfig, offered float64, total int) []loadgen.Op {
+	if offered <= 0 || total == 0 {
+		return nil
+	}
+	arr := loadgen.NewArrivals(cfg.Seed+7777, offered)
+	ops := make([]loadgen.Op, total)
+	for i := range ops {
+		srv := i % cfg.Nodes
+		ops[i] = loadgen.Op{ArrivalNS: arr.Next(), Server: srv, ServiceNS: p.meanServiceNS[srv]}
+	}
+	return ops
+}
+
+// tierRecord builds the page's 64-byte record: 8 words, every one the
+// page's current sequence number. Cross-node line transfers are atomic at
+// word granularity, and no two nodes ever access a page in the same round,
+// so a correct run reads records whose every word equals the page's shadow
+// sequence — anything else is a stale or torn read, counted exactly.
+func tierRecord(buf []byte, seq uint64) {
+	for w := 0; w < tierRecordBytes; w += 8 {
+		binary.LittleEndian.PutUint64(buf[w:], seq)
+	}
+}
+
+// checkTierRecord classifies one read record against the expected seq:
+// 0 = intact, 1 = stale (uniform but wrong seq), 2 = torn (mixed words).
+func checkTierRecord(buf []byte, want uint64) int {
+	w0 := binary.LittleEndian.Uint64(buf)
+	uniform := true
+	for w := 8; w < tierRecordBytes; w += 8 {
+		if binary.LittleEndian.Uint64(buf[w:]) != w0 {
+			uniform = false
+			break
+		}
+	}
+	switch {
+	case uniform && w0 == want:
+		return 0
+	case uniform:
+		return 1
+	default:
+		return 2
+	}
+}
+
+const tierBaseVA = uint64(4) << 30
+
+func tierVA(page uint32) uint64 { return tierBaseVA + uint64(page)*memsys.PageSize }
+
+// runTierPhase builds a fresh rack, lays out the identical initial
+// placement (whole span faulted warm, then everything outside the
+// address-ordered warm set demoted cold), replays the plan, and audits.
+// Determinism chain: unlimited fabric caches (no eviction heuristics),
+// TLBs sized past the span (no arbitrary map eviction), one accessor per
+// (page, round), pre-generated op streams, and daemon decisions that are
+// sorted at every stage — same seed, same bits, run after run.
+func runTierPhase(cfg *TieringConfig, plan *tierPlan, daemonOn bool) *tierPhase {
+	span := cfg.SpanPages
+	nodes := cfg.Nodes
+	warmPages := int(cfg.WarmFrac * float64(span))
+	arenaBytes := uint64(48<<20) + uint64(span)*32
+	// Frame pool + arena + per-node radix page tables (the last grow with
+	// both span and rack size) + fixed slack for everything else.
+	ptBytes := uint64(nodes) * uint64(span) * 32
+	f := fabric.New(fabric.Config{
+		GlobalSize:         uint64(span+65536)*memsys.PageSize + arenaBytes + ptBytes + 64<<20,
+		Nodes:              nodes,
+		CacheCapacityLines: -1,
+		Latency:            fabric.DefaultLatency(),
+	})
+	framePool := memsys.NewGlobalFrames(f, uint64(span+65536))
+	arena := alloc.NewArena(f, arenaBytes)
+	sp := memsys.NewSpace(f, 1, framePool, arena.NodeAllocator(f.Node(0), 0), 4096)
+	mmus := make([]*memsys.MMU, nodes)
+	for n := 0; n < nodes; n++ {
+		mmus[n] = sp.Attach(f.Node(n), arena.NodeAllocator(f.Node(n), 0),
+			memsys.NewLocalStore(f.Node(n)), span+16)
+	}
+	if err := mmus[0].MMap(tierBaseVA, uint64(span), memsys.ProtRead|memsys.ProtWrite, memsys.BackGlobal); err != nil {
+		panic(err)
+	}
+
+	// Prefault every page with seq 1 from its home node, then demote the
+	// span's tail to the cold tier: pages [0, warmPages) are the static
+	// policy's entire placement decision. All outside the measurement.
+	shadow := make([]uint64, span)
+	var rec [tierRecordBytes]byte
+	tierRecord(rec[:], 1)
+	for p := 0; p < span; p++ {
+		if err := mmus[tierHome(cfg, uint32(p))].Write(tierVA(uint32(p)), rec[:]); err != nil {
+			panic(err)
+		}
+		shadow[p] = 1
+	}
+	const demoteChunk = 4096
+	for lo := warmPages; lo < span; lo += demoteChunk {
+		hi := lo + demoteChunk
+		if hi > span {
+			hi = span
+		}
+		vpns := make([]uint64, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			vpns = append(vpns, tierVA(uint32(p))>>memsys.PageShift)
+		}
+		if got := mmus[0].DemoteToColdBatch(vpns); len(got) != len(vpns) {
+			panic(fmt.Sprintf("tiering: initial demote moved %d/%d pages", len(got), len(vpns)))
+		}
+	}
+
+	var d *tiering.Daemon
+	if daemonOn {
+		// Slow decay gives the tracker ~4 rounds of memory (steady-state
+		// heat of an r-hits/round page is 4r), so intermittently-hit tail
+		// pages hold a stable heat instead of fading to zero and churning
+		// in and out of premium capacity against same-rate peers. The
+		// thresholds are the same access rates as the daemon defaults
+		// under their faster decay: promote at ~1 hit/round, pin local at
+		// ~4 hits/round on the dominant node.
+		d = tiering.New(sp, mmus, tiering.Config{
+			Decay:            0.75,
+			PromoteHeat:      4,
+			LocalHeat:        16,
+			LocalBudgetPages: cfg.LocalPagesPerNode,
+			WarmBudgetPages:  warmPages,
+			MaxMovesPerStep:  cfg.MaxMovesPerStep,
+		}, nil)
+		for p := 0; p < span; p++ {
+			vpn := tierVA(uint32(p)) >> memsys.PageShift
+			if p < warmPages {
+				d.Prime(vpn, memsys.TierWarm, -1)
+			} else {
+				d.Prime(vpn, memsys.TierCold, -1)
+			}
+		}
+		d.Attach()
+		defer d.Detach()
+	}
+
+	ph := &tierPhase{daemon: daemonOn, meanServiceNS: make([]uint64, nodes)}
+	before := make([]fabric.NodeStatsSnapshot, nodes)
+	for n := range before {
+		before[n] = f.Node(n).Stats()
+	}
+
+	// Measured rounds: one goroutine per node replays its list; violations
+	// are exact because each page has exactly one accessor per round and
+	// tier moves happen only at the barrier.
+	viols := make([][2]int, nodes) // per node: stale, torn
+	for r := 0; r < cfg.Rounds; r++ {
+		var wg sync.WaitGroup
+		for n := 0; n < nodes; n++ {
+			ops := plan.rounds[r][n]
+			if len(ops) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(n int, ops []tierOp) {
+				defer wg.Done()
+				m := mmus[n]
+				var buf [tierRecordBytes]byte
+				for _, op := range ops {
+					if op.write {
+						seq := shadow[op.page] + 1
+						tierRecord(buf[:], seq)
+						if err := m.Write(tierVA(op.page), buf[:]); err != nil {
+							panic(err)
+						}
+						shadow[op.page] = seq
+					} else {
+						if err := m.Read(tierVA(op.page), buf[:]); err != nil {
+							panic(err)
+						}
+						switch checkTierRecord(buf[:], shadow[op.page]) {
+						case 1:
+							viols[n][0]++
+						case 2:
+							viols[n][1]++
+						}
+					}
+				}
+			}(n, ops)
+		}
+		wg.Wait()
+		if d != nil {
+			d.Step()
+		}
+	}
+
+	after := make([]fabric.NodeStatsSnapshot, nodes)
+	for n := range after {
+		after[n] = f.Node(n).Stats()
+		delta := after[n].Delta(before[n])
+		if delta.VirtualNS > ph.makespanNS {
+			ph.makespanNS = delta.VirtualNS
+		}
+		if plan.perNode[n] > 0 {
+			ph.meanServiceNS[n] = delta.VirtualNS / uint64(plan.perNode[n])
+		}
+		if ph.meanServiceNS[n] == 0 {
+			ph.meanServiceNS[n] = 1
+		}
+	}
+	if ph.makespanNS > 0 {
+		ph.opsPerSec = float64(plan.total) / (float64(ph.makespanNS) / 1e9)
+	}
+	for n := range viols {
+		ph.stale += viols[n][0]
+		ph.torn += viols[n][1]
+	}
+	for _, m := range mmus {
+		ph.migrations += m.Stats().Migrations
+	}
+	if d != nil {
+		ph.dstats = d.Stats()
+	}
+
+	// Post-measurement audit: the final tier census, then every page read
+	// back against its shadow sequence — a write that vanished in a tier
+	// move (or a page serving stale content) lands here as lost.
+	for p := 0; p < span; p++ {
+		tier, _ := mmus[0].TierOf(tierVA(uint32(p)) >> memsys.PageShift)
+		ph.census[tier]++
+	}
+	var buf [tierRecordBytes]byte
+	for p := 0; p < span; p++ {
+		if err := mmus[tierHome(cfg, uint32(p))].Read(tierVA(uint32(p)), buf[:]); err != nil {
+			panic(err)
+		}
+		if checkTierRecord(buf[:], shadow[p]) != 0 {
+			ph.lost++
+		}
+	}
+	return ph
+}
+
+// Tiering measures what the rack-wide tiering daemon is worth: the same
+// Zipfian multi-node workload over a multi-million-page span runs twice —
+// once on a static placement (an uninformed warm set, everything else in
+// the cold capacity tier) and once with internal/tiering's daemon closing
+// the placement loop from MMU access samples. Both phases spend identical
+// premium capacity; only the placement policy differs.
+//
+//   - Placement: the daemon promotes sustained-hot pages into their
+//     dominant accessor's node-local DRAM, keeps the warm tier packed
+//     with observed-hot (not address-lucky) pages, and demotes faded
+//     pages back to cold — under promote/demote hysteresis, per-tier
+//     budgets and a bounded per-step move batch.
+//   - Integrity: every page carries a sequence-stamped record audited on
+//     every read and again in a full-span sweep after the run; a tier
+//     move that loses a write, serves stale bytes, or tears a record is
+//     counted, and the gate tolerates exactly zero.
+//   - Open loop: the daemon phase's measured per-node service times are
+//     replayed against Poisson arrivals at fractions of capacity for
+//     honest latency under load and the saturation knee.
+//
+// The returned bool reports failure: any integrity violation, a
+// daemon/static speedup below Gate, a daemon that never actually promoted
+// or demoted anything, or low-load achieved throughput under 0.95x offered.
+func Tiering(cfg TieringConfig) (*Result, bool) {
+	res := &Result{
+		Name:   "Hotness-tiered memory: daemon placement vs static tiers",
+		Table:  metrics.NewTable("phase", "config", "metric", "value"),
+		Ratios: map[string]float64{},
+	}
+	plan := generateTierPlan(&cfg)
+
+	static := runTierPhase(&cfg, plan, false)
+	daemon := runTierPhase(&cfg, plan, true)
+
+	speedup := 0.0
+	if daemon.makespanNS > 0 {
+		speedup = float64(static.makespanNS) / float64(daemon.makespanNS)
+	}
+	for _, ph := range []*tierPhase{static, daemon} {
+		res.Table.AddRow("placement", ph.mode(), "makespan | ops/s (virtual)",
+			fmt.Sprintf("%s | %.0f", ns(float64(ph.makespanNS)), ph.opsPerSec))
+		res.Table.AddRow("placement", ph.mode(), "final tiers local/warm/cold",
+			fmt.Sprintf("%d / %d / %d", ph.census[memsys.TierLocal], ph.census[memsys.TierWarm], ph.census[memsys.TierCold]))
+		res.Table.AddRow("integrity", ph.mode(), "stale/torn/lost",
+			fmt.Sprintf("%d / %d / %d", ph.stale, ph.torn, ph.lost))
+		res.Table.AddRow("placement", ph.mode(), "demand migrations",
+			fmt.Sprintf("%d", ph.migrations))
+	}
+	ds := daemon.dstats
+	res.Table.AddRow("placement", "daemon", "promoted local/warm",
+		fmt.Sprintf("%d / %d", ds.PromotedLocal, ds.PromotedWarm))
+	res.Table.AddRow("placement", "daemon", "demoted warm/cold",
+		fmt.Sprintf("%d / %d", ds.DemotedWarm, ds.DemotedCold))
+	res.Table.AddRow("placement", "daemon", "displaced | failed moves",
+		fmt.Sprintf("%d | %d", ds.Displaced, ds.FailedMoves))
+	res.Table.AddRow("placement", "speedup", "daemon/static",
+		fmt.Sprintf("%.2fx", speedup))
+	res.Ratios["daemon/static makespan speedup"] = speedup
+
+	// Open-loop replay of the daemon phase's capacity.
+	lowLoadOK := true
+	sweep := make([]loadgen.Row, 0, len(cfg.LoadFactors))
+	for _, fac := range cfg.LoadFactors {
+		offered := fac * daemon.opsPerSec
+		row := loadgen.MeasureRow(cfg.Nodes, offered, daemon.replayOps(&cfg, offered, plan.total), cfg.Nodes)
+		sweep = append(sweep, row)
+		res.Table.AddRow("open-loop", fmt.Sprintf("%.1fx capacity", fac),
+			"achieved ops/s | p50 | p99",
+			fmt.Sprintf("%.0f | %s | %s", row.AchievedOpsPerSec, ns(float64(row.P50NS)), ns(float64(row.P99NS))))
+		if fac <= 0.8 && row.AchievedOpsPerSec < 0.95*offered {
+			lowLoadOK = false
+		}
+	}
+	knee := "none"
+	if k := loadgen.Knee(sweep, 0.9); k >= 0 {
+		knee = fmt.Sprintf("%.1fx capacity", cfg.LoadFactors[k])
+	}
+	res.Table.AddRow("open-loop", "sweep", "saturation knee", knee)
+
+	res.Bench = &Bench{
+		Name:      "tiering",
+		OpsPerSec: daemon.opsPerSec,
+		P50NS:     float64(sweep[0].P50NS),
+		P99NS:     float64(sweep[0].P99NS),
+		Rows:      sweep,
+	}
+
+	violations := static.violations() + daemon.violations()
+	moved := ds.PromotedLocal > 0 && ds.PromotedWarm > 0 && ds.DemotedCold > 0
+	failed := violations > 0 || speedup < cfg.Gate || !moved || !lowLoadOK
+	return res, failed
+}

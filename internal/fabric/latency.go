@@ -41,6 +41,13 @@ type LatencyModel struct {
 	// PerLineNS is the incremental cost per additional cache line in a bulk
 	// transfer after the first (models pipelined line fetches).
 	PerLineNS int
+	// ColdNS is the surcharge for one access that reaches the rack's cold
+	// (capacity / modeled-persistent) memory tier instead of the premium
+	// global tier: a second device hop plus media latency, in the regime of
+	// NVM or far-memory numbers rather than DRAM. Charged on top of the
+	// ordinary global cost by consumers that place pages in the cold tier
+	// (memsys demotion); the fabric itself has no per-line cold state.
+	ColdNS int
 }
 
 // DefaultLatency returns the latency model used by the experiment harness:
@@ -54,7 +61,8 @@ func DefaultLatency() LatencyModel {
 		HopNS:     80,
 		AtomicNS:  600,
 		FenceNS:   30,
-		PerLineNS: 20, // pipelined bulk: ~3 GB/s per-node streaming
+		PerLineNS: 20,   // pipelined bulk: ~3 GB/s per-node streaming
+		ColdNS:    1350, // capacity tier: ~3x the one-hop global round trip
 	}
 }
 
@@ -125,6 +133,19 @@ func (n *Node) charge(ns int) {
 		n.stats.Stalls.Add(1)
 		spinWait(int64(ns))
 	}
+}
+
+// ChargeColdAccess charges node n the cold-tier surcharge for one access
+// touching lines cache lines: ColdNS for the media round trip plus the
+// usual pipelined per-line cost for lines beyond the first. Callers charge
+// this in addition to the ordinary global cost, mirroring how a far-memory
+// access still traverses the interconnect before reaching the device.
+func (n *Node) ChargeColdAccess(lines int) {
+	c := n.fab.lat.ColdNS
+	if lines > 1 {
+		c += (lines - 1) * n.fab.lat.PerLineNS
+	}
+	n.charge(c)
 }
 
 // globalCost returns the modeled cost of one home-memory access from node n,

@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"sort"
+	"sync"
 
 	"flacos/internal/fabric"
 )
@@ -10,8 +11,14 @@ import (
 // decayed counters, the signal §3.2's layout optimization uses to pack hot
 // objects together (better locality, fewer fetched lines) and to steer
 // placement across memory tiers. Tracking state is node-local bookkeeping.
-// Not safe for concurrent use; give each worker its own tracker or guard it.
+//
+// All methods are safe for concurrent use: one mutex guards the map, which
+// is fine for the allocator's per-object cadence (delegation gating, slab
+// packing) but deliberately NOT for per-page-access sampling — a single
+// lock on the MMU translate path would serialize every node. Hot paths use
+// internal/tiering's sharded HeatMap instead.
 type HotnessTracker struct {
+	mu    sync.Mutex
 	decay float64
 	heat  map[fabric.GPtr]float64
 }
@@ -26,13 +33,23 @@ func NewHotnessTracker(decay float64) *HotnessTracker {
 }
 
 // Touch records one access to the object at g.
-func (h *HotnessTracker) Touch(g fabric.GPtr) { h.heat[g]++ }
+func (h *HotnessTracker) Touch(g fabric.GPtr) {
+	h.mu.Lock()
+	h.heat[g]++
+	h.mu.Unlock()
+}
 
 // Heat returns the object's current decayed access count.
-func (h *HotnessTracker) Heat(g fabric.GPtr) float64 { return h.heat[g] }
+func (h *HotnessTracker) Heat(g fabric.GPtr) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.heat[g]
+}
 
 // Decay ages every counter and drops objects that have gone cold (<0.5).
 func (h *HotnessTracker) Decay() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for g, v := range h.heat {
 		v *= h.decay
 		if v < 0.5 {
@@ -44,10 +61,16 @@ func (h *HotnessTracker) Decay() {
 }
 
 // Forget removes an object (e.g. after Free or Relocate).
-func (h *HotnessTracker) Forget(g fabric.GPtr) { delete(h.heat, g) }
+func (h *HotnessTracker) Forget(g fabric.GPtr) {
+	h.mu.Lock()
+	delete(h.heat, g)
+	h.mu.Unlock()
+}
 
 // Rename transfers heat from old to new after a relocation.
 func (h *HotnessTracker) Rename(old, new fabric.GPtr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if v, ok := h.heat[old]; ok {
 		delete(h.heat, old)
 		h.heat[new] += v
@@ -60,10 +83,12 @@ func (h *HotnessTracker) TopK(k int) []fabric.GPtr {
 		g fabric.GPtr
 		v float64
 	}
+	h.mu.Lock()
 	all := make([]entry, 0, len(h.heat))
 	for g, v := range h.heat {
 		all = append(all, entry{g, v})
 	}
+	h.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].v != all[j].v {
 			return all[i].v > all[j].v

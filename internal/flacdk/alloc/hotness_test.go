@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"sync"
 	"testing"
 
 	"flacos/internal/fabric"
@@ -100,5 +101,40 @@ func TestPackHotRelocatesHotObjects(t *testing.T) {
 	_, frees := na.Stats()
 	if frees != 2 {
 		t.Fatalf("frees = %d, want 2", frees)
+	}
+}
+
+// TestHotnessTrackerConcurrent exercises every tracker method from
+// concurrent goroutines; run under -race it proves the mutex added in
+// ISSUE 8 covers the whole surface. (Per-page access sampling still
+// belongs to internal/tiering's sharded HeatMap — this single lock is for
+// coarse allocator-object heat, off the translate path.)
+func TestHotnessTrackerConcurrent(t *testing.T) {
+	h := NewHotnessTracker(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := fabric.GPtr(g * 1024)
+			for i := 0; i < 2000; i++ {
+				p := base.Add(uint64(i%16) * 8)
+				h.Touch(p)
+				_ = h.Heat(p)
+				switch i % 100 {
+				case 17:
+					h.Decay()
+				case 41:
+					h.Rename(p, p.Add(512*1024))
+					h.Forget(p.Add(512 * 1024))
+				case 73:
+					_ = h.TopK(4)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(h.TopK(64)) == 0 {
+		t.Fatal("tracker lost everything")
 	}
 }

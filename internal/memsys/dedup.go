@@ -36,8 +36,8 @@ func (m *MMU) DedupPass() (merged int) {
 	for _, vma := range vmas {
 		for vpn := vma.StartVPN; vpn < vma.End(); vpn++ {
 			p := PTE(m.space.pt.Get(m.node, vpn))
-			if !p.Valid() || !p.Global() {
-				continue
+			if !p.Valid() || !p.Global() || p.Busy() {
+				continue // busy: mid-move, the frame may be retired
 			}
 			m.readFrame(p, 0, buf)
 			h := fnv.New64a()

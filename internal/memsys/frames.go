@@ -183,12 +183,39 @@ func (ls *LocalStore) Free(idx uint32) {
 	ls.free = append(ls.free, idx)
 }
 
-// Page returns the frame's backing bytes. Only the owning node's MMU may
-// touch it; migration copies it out under the owner's lock.
+// Page returns the frame's backing bytes. Only single-goroutine tests may
+// touch the slice directly; the MMU paths go through readAt/writeAt/copyOut
+// so concurrent access and migration serialize on the store's mutex.
 func (ls *LocalStore) page(idx uint32) []byte {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	return ls.frames[idx]
+}
+
+// readAt copies frame bytes [off, off+len(buf)) into buf under the lock,
+// so a concurrent migration or tiering demotion copying the frame out
+// never races the byte transfer (the model's atomic line transfers).
+func (ls *LocalStore) readAt(idx uint32, off uint64, buf []byte) {
+	ls.mu.Lock()
+	copy(buf, ls.frames[idx][off:])
+	ls.mu.Unlock()
+}
+
+// writeAt copies data into frame bytes at off under the lock.
+func (ls *LocalStore) writeAt(idx uint32, off uint64, data []byte) {
+	ls.mu.Lock()
+	copy(ls.frames[idx][off:], data)
+	ls.mu.Unlock()
+}
+
+// copyOut snapshots the whole frame into a fresh buffer under the lock
+// (migration and demotion's page transfer).
+func (ls *LocalStore) copyOut(idx uint32) []byte {
+	buf := make([]byte, PageSize)
+	ls.mu.Lock()
+	copy(buf, ls.frames[idx])
+	ls.mu.Unlock()
+	return buf
 }
 
 // Allocated returns how many frames the store has ever created.

@@ -178,7 +178,7 @@ func TestMMapFaultReadWriteSingleNode(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("round trip mismatch")
 	}
-	_, _, faults, _, _, _, _ := m.Stats()
+	faults := m.Stats().PageFaults
 	if faults == 0 {
 		t.Fatal("no page faults recorded")
 	}
@@ -303,7 +303,7 @@ func TestLocalBackingAndMigration(t *testing.T) {
 	if !m1.PTEOf(va).Global() {
 		t.Fatal("page not migrated to global tier")
 	}
-	_, _, _, _, migrations, _, _ := m1.Stats()
+	migrations := m1.Stats().Migrations
 	if migrations != 1 {
 		t.Fatalf("migrations = %d", migrations)
 	}
@@ -366,7 +366,7 @@ func TestDedupMergesIdenticalPagesAndCOWBreaks(t *testing.T) {
 	if !bytes.Equal(got, diff) {
 		t.Fatal("COW page lost its write")
 	}
-	_, _, _, cow, _, _, _ := m1.Stats()
+	cow := m1.Stats().COWBreaks
 	if cow != 1 {
 		t.Fatalf("COW breaks = %d", cow)
 	}
@@ -423,13 +423,13 @@ func TestTLBHitsRecorded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits, misses, _, _, _, _, _ := m.Stats()
+	hits, misses := m.Stats().TLBHits, m.Stats().TLBMisses
 	if hits < 3 || misses == 0 {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
 	}
 	m.FlushTLB()
 	m.Read(0x80000, buf)
-	_, misses2, _, _, _, _, _ := m.Stats()
+	misses2 := m.Stats().TLBMisses
 	if misses2 <= misses {
 		t.Fatal("flush did not cause a TLB miss")
 	}

@@ -3,6 +3,7 @@ package memsys
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -19,13 +20,38 @@ type MMUStats struct {
 	PageFaults         atomic.Uint64
 	COWBreaks          atomic.Uint64
 	Migrations         atomic.Uint64
+	Promotions         atomic.Uint64
+	Demotions          atomic.Uint64
 	ShootdownsSent     atomic.Uint64
 	ShootdownsReceived atomic.Uint64
 }
 
+// MMUStatsSnapshot is a point-in-time copy of MMUStats, the value form
+// Stats returns (the old 7-tuple form could not grow without breaking
+// every call site; the tiering counters forced the switch).
+type MMUStatsSnapshot struct {
+	TLBHits            uint64
+	TLBMisses          uint64
+	PageFaults         uint64
+	COWBreaks          uint64
+	Migrations         uint64
+	Promotions         uint64 // tiering: pages moved cold->warm or ->node-local
+	Demotions          uint64 // tiering: pages moved local->warm or warm->cold
+	ShootdownsSent     uint64
+	ShootdownsReceived uint64
+}
+
 // tlb is a per-node translation cache: node-local, coherent Go memory, so
 // an ordinary mutex suffices. Cross-node correctness comes from shootdowns.
+//
+// gen counts invalidations (local and shootdown-delivered). The store path
+// snapshots it around each chunk: an unchanged generation means no
+// shootdown touched this MMU mid-store, so the translation held for the
+// whole store and the expensive page-table re-walk can be skipped — the
+// software analogue of a core that re-checks its mapping only after a
+// shootdown IPI, not after every store.
 type tlb struct {
+	gen atomic.Uint64
 	mu  sync.Mutex
 	cap int
 	m   map[uint64]PTE
@@ -59,12 +85,14 @@ func (t *tlb) put(vpn uint64, p PTE) {
 
 func (t *tlb) invalidate(vpn uint64) {
 	t.mu.Lock()
-	delete(t.m, vpn)
+	t.gen.Add(1) // bump BEFORE the delete: an unchanged gen observed by a
+	delete(t.m, vpn) // store proves the invalidation had not begun
 	t.mu.Unlock()
 }
 
 func (t *tlb) flush() {
 	t.mu.Lock()
+	t.gen.Add(1)
 	t.m = make(map[uint64]PTE)
 	t.mu.Unlock()
 }
@@ -89,10 +117,18 @@ func (m *MMU) Node() *fabric.Node { return m.node }
 func (m *MMU) Space() *Space { return m.space }
 
 // Stats returns a snapshot of the MMU's counters.
-func (m *MMU) Stats() (hits, misses, faults, cow, migrations, sdSent, sdRecv uint64) {
-	return m.stats.TLBHits.Load(), m.stats.TLBMisses.Load(), m.stats.PageFaults.Load(),
-		m.stats.COWBreaks.Load(), m.stats.Migrations.Load(),
-		m.stats.ShootdownsSent.Load(), m.stats.ShootdownsReceived.Load()
+func (m *MMU) Stats() MMUStatsSnapshot {
+	return MMUStatsSnapshot{
+		TLBHits:            m.stats.TLBHits.Load(),
+		TLBMisses:          m.stats.TLBMisses.Load(),
+		PageFaults:         m.stats.PageFaults.Load(),
+		COWBreaks:          m.stats.COWBreaks.Load(),
+		Migrations:         m.stats.Migrations.Load(),
+		Promotions:         m.stats.Promotions.Load(),
+		Demotions:          m.stats.Demotions.Load(),
+		ShootdownsSent:     m.stats.ShootdownsSent.Load(),
+		ShootdownsReceived: m.stats.ShootdownsReceived.Load(),
+	}
 }
 
 // MMap maps pages at [vaStart, vaStart+pages*PageSize) with the given
@@ -185,6 +221,7 @@ func (m *MMU) translate(vpn uint64, write bool) (PTE, error) {
 	if p, ok := m.tlb.get(vpn); ok {
 		if !write || p.Writable() {
 			m.stats.TLBHits.Add(1)
+			m.sample(vpn, write)
 			return p, nil
 		}
 		// Write to a read-only TLB entry: fall into the fault path.
@@ -200,6 +237,9 @@ func (m *MMU) translate(vpn uint64, write bool) (PTE, error) {
 				return 0, err
 			}
 			continue // re-check the installed entry
+		case p.Busy():
+			runtime.Gosched() // page mid-move: wait for the final entry
+			continue
 		case write && p.COW():
 			m.breakCOW(vpn, p)
 			continue
@@ -210,8 +250,17 @@ func (m *MMU) translate(vpn uint64, write bool) (PTE, error) {
 			continue
 		default:
 			m.tlb.put(vpn, p)
+			m.sample(vpn, write)
 			return p, nil
 		}
+	}
+}
+
+// sample forwards one successful translation to the space's access
+// sampler, if any. One atomic load on the no-sampler path.
+func (m *MMU) sample(vpn uint64, write bool) {
+	if b := m.space.sampler.Load(); b != nil {
+		b.s.Sample(m.node.ID(), vpn, write)
 	}
 }
 
@@ -299,43 +348,63 @@ func (m *MMU) breakCOW(vpn uint64, old PTE) {
 // migrateToGlobal moves a remote node-local page into global memory so this
 // node can reach it: the unified-address-space promise of the shared
 // heterogeneous page table.
+//
+// Unmap-before-copy protocol: publish the in-transit (busy) marker first so
+// no new translation can hand out the dying mapping, purge every TLB, and
+// only then copy the frame. Any store that slipped past its own MMU's
+// generation check necessarily finished before the purge — before the
+// copy — so the copy captures it; later stores re-walk and retry on the
+// busy or final entry.
 func (m *MMU) migrateToGlobal(vpn uint64, old PTE) {
 	ownerID, idx := old.LocalFrame()
 	owner := m.space.mmuOnNode(ownerID)
 	if owner == nil {
 		panic("memsys: local page owned by a node with no attached MMU")
 	}
-	src := owner.local.page(idx)
 	phys := m.space.frames.AllocUninit(m.node)
+	if !m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(old), uint64(old|PteBusy)) {
+		m.space.frames.Unref(m.node, phys) // racing move won
+		return
+	}
+	m.node.ChargeNS(ipiCostNS) // ask the owner to relinquish
+	owner.tlb.invalidate(vpn)
+	m.tlb.invalidate(vpn)
+	m.space.shootdown(m, vpn)
+	src := owner.local.copyOut(idx) // owner's lock serializes in-flight stores
 	m.node.Write(fabric.GPtr(phys), src)
 	m.node.WriteBackRange(fabric.GPtr(phys), PageSize)
 	m.node.InvalidateRange(fabric.GPtr(phys), PageSize)
-	m.node.ChargeNS(ipiCostNS) // ask the owner to relinquish
 	neu := MakeGlobalPTE(phys, old.Writable())
-	if m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(old), uint64(neu)) {
+	if m.space.pt.CompareAndSwap(m.node, m.pta, vpn, uint64(old|PteBusy), uint64(neu)) {
 		m.stats.Migrations.Add(1)
 		m.space.emit(m.node, trace.KMigrate, vpn, uint64(ownerID))
 		owner.local.Free(idx)
-		owner.tlb.invalidate(vpn)
-		m.space.shootdown(m, vpn)
+		if b := m.space.sampler.Load(); b != nil {
+			b.s.Migrated(vpn, ownerID)
+		}
 		return
 	}
-	m.space.frames.Unref(m.node, phys) // racing migration won
+	m.space.frames.Unref(m.node, phys) // unmapped mid-move
 }
 
 // readFrame copies [off, off+len(buf)) of the frame behind p into buf.
+// Cold-tier frames pay the fabric's ColdNS surcharge on top of the
+// ordinary global cost — the access still works, it is just far.
 func (m *MMU) readFrame(p PTE, off uint64, buf []byte) {
 	if p.Global() {
 		g := fabric.GPtr(p.GlobalPhys() + off)
 		m.node.InvalidateRange(g, uint64(len(buf)))
 		m.node.Read(g, buf)
+		if p.Cold() {
+			m.node.ChargeColdAccess(len(buf)/fabric.LineSize + 1)
+		}
 		return
 	}
 	nodeID, idx := p.LocalFrame()
 	if nodeID != m.node.ID() {
 		panic("memsys: direct read of remote local frame (must migrate)")
 	}
-	copy(buf, m.local.page(idx)[off:])
+	m.local.readAt(idx, off, buf)
 	m.node.ChargeNS((len(buf)/fabric.LineSize + 1) * localAccessNS)
 }
 
@@ -345,13 +414,16 @@ func (m *MMU) writeFrame(p PTE, off uint64, data []byte) {
 		g := fabric.GPtr(p.GlobalPhys() + off)
 		m.node.Write(g, data)
 		m.node.WriteBackRange(g, uint64(len(data)))
+		if p.Cold() {
+			m.node.ChargeColdAccess(len(data)/fabric.LineSize + 1)
+		}
 		return
 	}
 	nodeID, idx := p.LocalFrame()
 	if nodeID != m.node.ID() {
 		panic("memsys: direct write of remote local frame (must migrate)")
 	}
-	copy(m.local.page(idx)[off:], data)
+	m.local.writeAt(idx, off, data)
 	m.node.ChargeNS((len(data)/fabric.LineSize + 1) * localAccessNS)
 }
 
@@ -379,23 +451,30 @@ func (m *MMU) Read(va uint64, buf []byte) error {
 // Write copies data to virtual address va with write-through to home
 // memory, breaking COW and faulting pages in as needed.
 //
-// After each page's store the PTE is re-validated: a translation is the
-// software stand-in for a TLB entry held across the store, and a
-// concurrent write-protect (dedup's merge fence) or migration that landed
-// mid-store would otherwise absorb the data into a frame about to be
-// shared or abandoned. A changed PTE redoes the chunk through the fault
-// path — the same retry a real core performs after a shootdown IPI.
+// After each page's store the translation is re-validated: a concurrent
+// write-protect (dedup's merge fence) or migration that landed mid-store
+// would otherwise absorb the data into a frame about to be shared or
+// abandoned. The check is two-level, like real hardware: the TLB
+// invalidation generation is snapshotted before translating, and only if
+// an invalidation hit this MMU during the store is the page table
+// re-walked (the retry a core performs after a shootdown IPI). This is
+// sound because every PTE-changing path invalidates TLBs, and the
+// frame-moving paths purge ALL TLBs before copying the old frame
+// (unmap-before-copy): a store that passed the generation check either
+// used the live mapping or finished before the purge — and therefore
+// before the copy, which captures it.
 func (m *MMU) Write(va uint64, data []byte) error {
 	for done := 0; done < len(data); {
 		vpn := (va + uint64(done)) >> PageShift
 		off := (va + uint64(done)) % PageSize
 		chunk := min(PageSize-off, uint64(len(data)-done))
+		gen := m.tlb.gen.Load()
 		p, err := m.translate(vpn, true)
 		if err != nil {
 			return err
 		}
 		m.writeFrame(p, off, data[done:done+int(chunk)])
-		if PTE(m.space.pt.Get(m.node, vpn)) != p {
+		if m.tlb.gen.Load() != gen && PTE(m.space.pt.Get(m.node, vpn)) != p {
 			m.tlb.invalidate(vpn)
 			continue // mapping changed under the store: redo this chunk
 		}

@@ -27,6 +27,8 @@ const PageShift = 12
 //	bit  1      writable
 //	bit  2      global tier (1 = global memory frame, 0 = node-local frame)
 //	bit  3      copy-on-write (write faults must copy before writing)
+//	bit  4      cold (global frame demoted to the capacity/persistent tier)
+//	bit  5      busy (page mid-move between tiers; translations must wait)
 //	bits 12..51 frame field:
 //	    global: physical global address >> 12
 //	    local:  bits 12..43 frame index, bits 44..51 owner node id
@@ -38,6 +40,16 @@ const (
 	PteWritable PTE = 1 << 1
 	PteGlobal   PTE = 1 << 2
 	PteCOW      PTE = 1 << 3
+	// PteCold marks a global frame that tiering demoted to the rack's cold
+	// (capacity / modeled-persistent) tier: the mapping stays valid, but
+	// every access pays the fabric's ColdNS surcharge until promotion
+	// clears the bit. Only meaningful together with PteGlobal.
+	PteCold PTE = 1 << 4
+	// PteBusy marks a page mid-move between tiers (unmap-before-copy
+	// migration): the old frame bits are still encoded, but translations
+	// must wait for the mover to install the final entry. Never cached in
+	// a TLB.
+	PteBusy PTE = 1 << 5
 )
 
 const (
@@ -83,6 +95,12 @@ func (p PTE) Global() bool { return p&PteGlobal != 0 }
 // COW reports whether the page is copy-on-write.
 func (p PTE) COW() bool { return p&PteCOW != 0 }
 
+// Cold reports whether the global frame sits in the cold capacity tier.
+func (p PTE) Cold() bool { return p&PteCold != 0 }
+
+// Busy reports whether the page is mid-move between tiers.
+func (p PTE) Busy() bool { return p&PteBusy != 0 }
+
 // GlobalPhys returns the global frame's physical address. Panics if the
 // entry is not a global mapping — always a kernel bug.
 func (p PTE) GlobalPhys() uint64 {
@@ -112,6 +130,12 @@ func (p PTE) String() string {
 	tier := "local"
 	if p.Global() {
 		tier = "global"
+		if p.Cold() {
+			tier = "cold"
+		}
+	}
+	if p.Busy() {
+		tier += "+busy"
 	}
 	return fmt.Sprintf("pte<%s w=%v cow=%v raw=%#x>", tier, p.Writable(), p.COW(), uint64(p))
 }

@@ -143,7 +143,34 @@ type Space struct {
 	mmus   []*MMU
 	source PageSource
 
-	trw []atomic.Pointer[trace.Writer] // per-node flight-recorder hooks
+	trw     []atomic.Pointer[trace.Writer] // per-node flight-recorder hooks
+	sampler atomic.Pointer[samplerBox]     // tiering access-heat hook
+}
+
+// Sampler observes the MMU translate path. Implementations must be safe
+// for concurrent use from every attached node and cheap enough for the
+// hot path (the tiering daemon's sharded heat map is the intended one;
+// alloc.HotnessTracker's single mutex-guarded map is not).
+type Sampler interface {
+	// Sample is called once per successful translation (TLB hit or miss)
+	// with the accessing node, the page, and whether the access wrote.
+	Sample(node int, vpn uint64, write bool)
+	// Migrated is called after a demand migration pulled a node-local page
+	// into the global tier (MMU.migrateToGlobal), so a placement daemon
+	// tracking tiers learns the page moved without scanning the page table.
+	Migrated(vpn uint64, fromNode int)
+}
+
+// samplerBox exists because atomic.Pointer cannot hold an interface.
+type samplerBox struct{ s Sampler }
+
+// SetSampler installs (or, with nil, removes) the space's access sampler.
+func (s *Space) SetSampler(sm Sampler) {
+	if sm == nil {
+		s.sampler.Store(nil)
+		return
+	}
+	s.sampler.Store(&samplerBox{s: sm})
 }
 
 // SetPageSource installs the file-page resolver for BackFile mappings.
@@ -274,6 +301,33 @@ func (s *Space) shootdown(from *MMU, vpn uint64) {
 	}
 	from.stats.ShootdownsSent.Add(uint64(len(targets)))
 	s.emit(from.node, trace.KShootdown, vpn, uint64(len(targets)))
+}
+
+// shootdownBatch invalidates every vpn in vpns from every other attached
+// MMU's TLB with ONE modeled IPI per remote MMU for the whole batch — the
+// batched-migration amortization: a tiering step that moves a thousand
+// pages interrupts each peer once, not a thousand times.
+func (s *Space) shootdownBatch(from *MMU, vpns []uint64) {
+	if len(vpns) == 0 || brokenSkipShootdown.Load() {
+		return
+	}
+	s.mu.Lock()
+	targets := make([]*MMU, 0, len(s.mmus))
+	for _, m := range s.mmus {
+		if m != from {
+			targets = append(targets, m)
+		}
+	}
+	s.mu.Unlock()
+	for _, m := range targets {
+		for _, vpn := range vpns {
+			m.tlb.invalidate(vpn)
+		}
+		m.stats.ShootdownsReceived.Add(1)
+		from.node.ChargeNS(ipiCostNS)
+	}
+	from.stats.ShootdownsSent.Add(uint64(len(targets)))
+	s.emit(from.node, trace.KShootdown, vpns[0], uint64(len(targets)))
 }
 
 // ipiCostNS is the modeled cost of one cross-node interrupt.

@@ -71,6 +71,11 @@ func FuzzBatchCommandDecode(f *testing.F) {
 	f.Add([]byte("*3\r\n$6\r\nINCRBY\r\n$1\r\nc\r\n$2\r\n-7\r\n*3\r\n$6\r\nINCRBY\r\n$1\r\nc\r\n$19\r\n9223372036854775807\r\n"))
 	f.Add([]byte("*3\r\n$4\r\nMGET\r\n$1\r\na\r\n$1\r\nb\r\n*2\r\n$4\r\nMGET\r\n$300\r\ntruncated"))
 	f.Add([]byte("+inline\r\n*1\r\n$4\r\nPING\r\n:42\r\n"))
+	// EXPIRE pipelines: set-then-expire, expire of a missing key, the
+	// delete-now negative-ttl form, and a truncated EXPIRE mid-frame.
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\na\r\n$1\r\n1\r\n*3\r\n$6\r\nEXPIRE\r\n$1\r\na\r\n$2\r\n10\r\n*2\r\n$3\r\nGET\r\n$1\r\na\r\n"))
+	f.Add([]byte("*3\r\n$6\r\nEXPIRE\r\n$7\r\nmissing\r\n$1\r\n5\r\n*3\r\n$6\r\nEXPIRE\r\n$1\r\na\r\n$2\r\n-1\r\n"))
+	f.Add([]byte("*3\r\n$6\r\nEXPIRE\r\n$1\r\na\r\n$3\r\nnan\r\n*3\r\n$6\r\nEXPIRE\r\n$1\r\na"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := NewServer(NewStore())
 		out := s.ExecuteBatch(nil, data)

@@ -625,6 +625,42 @@ func (v *View) IncrBy(key string, delta int64) (int64, error) {
 	}
 }
 
+// Expire sets a fresh TTL deadline on a live key, reporting whether the
+// key existed; a non-positive ttl deletes the key immediately, matching
+// real Redis. Like IncrBy it republishes ONE fresh entry block — same
+// value, new deadline — so a racing writer either sees the old deadline
+// or the new one, never a torn mix, and the CAS loses cleanly to any
+// concurrent Set.
+func (v *View) Expire(key string, ttl time.Duration) bool {
+	if ttl <= 0 {
+		return v.del1(key)
+	}
+	for {
+		if v.fenced() {
+			return false
+		}
+		v.p.Enter()
+		pr := v.probe(key)
+		if pr.entry.IsNil() || pr.hdr.deleted() || v.expired(pr.hdr) {
+			v.p.Exit()
+			v.tick()
+			return false
+		}
+		_, val := v.readBody(pr.entry, pr.hdr)
+		nblk := v.newEntry(key, val, v.Now()+uint64(ttl.Nanoseconds()), false)
+		if v.s.index.CompareAndSwap(v.n, pr.sk, uint64(pr.entry), uint64(nblk)) {
+			v.p.Exit()
+			v.retire(pr.entry)
+			v.tick()
+			return true
+		}
+		// Lost to a concurrent writer: the fresh state decides whether a
+		// TTL still applies — retry against it.
+		v.p.Exit()
+		v.na.Free(nblk)
+	}
+}
+
 // Len returns the live key count (Redis DBSIZE; expired-but-unpurged keys
 // count, as in the original store).
 func (v *View) Len() int { return v.s.Len(v.n) }

@@ -307,3 +307,56 @@ func (p *pipeConn) Recv(buf []byte) (int, error) {
 }
 
 func (p *pipeConn) Close() { close(p.send) }
+
+// TestRackStoreExpire: EXPIRE republishes the entry with a new deadline
+// on the SHARED virtual clock, so the lease is the same event on every
+// node; negative ttl is delete-now; dead keys refuse a new lease.
+func TestRackStoreExpire(t *testing.T) {
+	f, s := newTestRackStore(t, 2, RackStoreConfig{})
+	a, b := s.Attach(f.Node(0)), s.Attach(f.Node(1))
+
+	if a.Expire("missing", time.Second) {
+		t.Fatal("EXPIRE on a missing key reported success")
+	}
+	if err := a.Set("lease", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Node B sets the lease node A wrote; the value must survive the
+	// republish byte for byte.
+	if !b.Expire("lease", 10*time.Second) {
+		t.Fatal("EXPIRE on a live key failed")
+	}
+	if got, ok := a.Get("lease"); !ok || string(got) != "v" {
+		t.Fatalf("value after EXPIRE = %q ok=%v", got, ok)
+	}
+	// Re-EXPIRE extends the deadline.
+	if !a.Expire("lease", 100*time.Second) {
+		t.Fatal("re-EXPIRE failed")
+	}
+	b.AdvanceClock(11 * time.Second)
+	if _, ok := b.Get("lease"); !ok {
+		t.Fatal("extended lease expired early")
+	}
+	a.AdvanceClock(90 * time.Second)
+	for _, v := range []*View{a, b} {
+		if _, ok := v.Get("lease"); ok {
+			t.Fatal("lease survived its deadline")
+		}
+	}
+	if b.Expire("lease", time.Second) {
+		t.Fatal("EXPIRE revived an expired key")
+	}
+	// Delete-now form, cross-node visible, and DEL-consistent counting.
+	if err := b.Set("tmp", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Expire("tmp", -time.Second) {
+		t.Fatal("negative-ttl EXPIRE on live key failed")
+	}
+	if n := b.Exists("tmp"); n != 0 {
+		t.Fatalf("Exists after delete-now EXPIRE = %d", n)
+	}
+	if a.Expire("tmp", time.Second) {
+		t.Fatal("EXPIRE on a deleted key reported success")
+	}
+}

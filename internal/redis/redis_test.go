@@ -252,3 +252,75 @@ func TestEndToEndOverTCP(t *testing.T) {
 	defer cleanup()
 	exerciseClient(t, cl)
 }
+
+func TestStoreExpire(t *testing.T) {
+	s := NewStore()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+
+	if s.Expire("missing", time.Second) {
+		t.Fatal("EXPIRE on a missing key reported success")
+	}
+	s.Set("k", []byte("v"), 0)
+	if !s.Expire("k", 5*time.Second) {
+		t.Fatal("EXPIRE on a live key failed")
+	}
+	now = now.Add(6 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key survived its EXPIRE deadline")
+	}
+	if s.Expire("k", time.Second) {
+		t.Fatal("EXPIRE on an expired key reported success")
+	}
+	// A later EXPIRE replaces the deadline entirely.
+	s.Set("k2", []byte("v"), time.Second)
+	if !s.Expire("k2", time.Hour) {
+		t.Fatal("re-EXPIRE failed")
+	}
+	now = now.Add(time.Minute)
+	if _, ok := s.Get("k2"); !ok {
+		t.Fatal("extended TTL not honored")
+	}
+	// Non-positive ttl deletes immediately, like real Redis.
+	if !s.Expire("k2", -time.Second) {
+		t.Fatal("negative-ttl EXPIRE on live key failed")
+	}
+	if _, ok := s.Get("k2"); ok {
+		t.Fatal("negative-ttl EXPIRE did not delete")
+	}
+}
+
+func TestExecuteExpire(t *testing.T) {
+	srv := NewServer(NewStore())
+	exec := func(args ...string) Value {
+		bs := make([][]byte, len(args))
+		for i, a := range args {
+			bs[i] = []byte(a)
+		}
+		out := srv.Execute(AppendCommand(nil, bs...))
+		v, _, err := Decode(out)
+		if err != nil {
+			t.Fatalf("reply undecodable: %v", err)
+		}
+		return v
+	}
+	exec("SET", "a", "1")
+	if v := exec("EXPIRE", "a", "10"); v.Kind != respInt || v.Int != 1 {
+		t.Fatalf("EXPIRE live = %+v, want :1", v)
+	}
+	if v := exec("EXPIRE", "nope", "10"); v.Kind != respInt || v.Int != 0 {
+		t.Fatalf("EXPIRE missing = %+v, want :0", v)
+	}
+	if v := exec("EXPIRE", "a", "zzz"); v.Kind != respError {
+		t.Fatalf("EXPIRE with garbage ttl = %+v, want error", v)
+	}
+	if v := exec("EXPIRE", "a"); v.Kind != respError {
+		t.Fatalf("EXPIRE arity = %+v, want error", v)
+	}
+	if v := exec("EXPIRE", "a", "-1"); v.Kind != respInt || v.Int != 1 {
+		t.Fatalf("EXPIRE -1 = %+v, want :1 (delete-now)", v)
+	}
+	if v := exec("GET", "a"); v.Kind != respBulk || v.Bulk != nil {
+		t.Fatalf("GET after delete-now EXPIRE = %+v, want nil bulk", v)
+	}
+}

@@ -32,6 +32,10 @@ type Backend interface {
 	// IncrBy adds delta in one published write — the primitive a
 	// combining owner uses to apply a gathered increment batch.
 	IncrBy(key string, delta int64) (int64, error)
+	// Expire sets a fresh TTL on a live key, reporting whether it
+	// existed; a non-positive ttl deletes the key immediately, matching
+	// real Redis.
+	Expire(key string, ttl time.Duration) bool
 	Len() int
 }
 
@@ -183,6 +187,18 @@ func (s *Server) executeValue(out []byte, v Value) []byte {
 			return AppendError(out, "ERR value is not an integer or out of range")
 		}
 		return AppendInt(out, v)
+	case "EXPIRE":
+		if len(args) != 3 {
+			return AppendError(out, "ERR wrong number of arguments for 'expire'")
+		}
+		secs, err := strconv.ParseInt(string(args[2].Bulk), 10, 64)
+		if err != nil {
+			return AppendError(out, "ERR value is not an integer or out of range")
+		}
+		if s.store.Expire(string(args[1].Bulk), time.Duration(secs)*time.Second) {
+			return AppendInt(out, 1)
+		}
+		return AppendInt(out, 0)
 	case "DBSIZE":
 		return AppendInt(out, int64(s.store.Len()))
 	}

@@ -144,6 +144,26 @@ func (s *Store) IncrBy(key string, delta int64) (int64, error) {
 	return cur, nil
 }
 
+// Expire sets a fresh TTL on key, reporting whether it existed. A
+// non-positive ttl deletes the key immediately, as in real Redis.
+func (s *Store) Expire(key string, ttl time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expiredLocked(key) {
+		return false
+	}
+	if _, ok := s.data[key]; !ok {
+		return false
+	}
+	if ttl <= 0 {
+		delete(s.data, key)
+		delete(s.expires, key)
+		return true
+	}
+	s.expires[key] = s.clock().Add(ttl)
+	return true
+}
+
 // Len returns the number of live keys.
 func (s *Store) Len() int {
 	s.mu.Lock()

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Placement hints: the scheduler's side of the truce with the tiering
+// daemon. Every SubmitToSpace records WHERE it just placed work for a
+// space; the tiering daemon consults that record before demoting pages,
+// so a node that sched chose moments ago does not have its working set
+// demoted out from under the tasks landing there (ISSUE 8's "placement
+// decisions and tiering decisions don't fight"). Hints live in plain host
+// memory — they are advisory and node-local-observable state, not part of
+// the coherent rack image.
+
+type spaceHint struct {
+	node int
+	at   time.Time
+}
+
+type hintTable struct {
+	mu sync.Mutex
+	m  map[uint64]spaceHint
+}
+
+// noteSpacePlacement records that work for space spaceID was just placed
+// on node.
+func (s *Scheduler) noteSpacePlacement(spaceID uint64, node int) {
+	s.hints.mu.Lock()
+	if s.hints.m == nil {
+		s.hints.m = make(map[uint64]spaceHint)
+	}
+	s.hints.m[spaceID] = spaceHint{node: node, at: time.Now()}
+	s.hints.mu.Unlock()
+}
+
+// SpacePlacementHint returns the node that most recently received work
+// for the space via SubmitToSpace, if that placement is younger than
+// maxAge. The tiering daemon treats the returned node as off-limits for
+// demotion this step.
+func (s *Scheduler) SpacePlacementHint(spaceID uint64, maxAge time.Duration) (node int, ok bool) {
+	s.hints.mu.Lock()
+	defer s.hints.mu.Unlock()
+	h, ok := s.hints.m[spaceID]
+	if !ok || time.Since(h.at) > maxAge {
+		return -1, false
+	}
+	return h.node, true
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"flacos/internal/fabric"
+	"flacos/internal/flacdk/alloc"
+	"flacos/internal/memsys"
+)
+
+// TestSpacePlacementHint: SubmitToSpace leaves a hint naming the node it
+// chose, the hint ages out, and unknown spaces report no hint.
+func TestSpacePlacementHint(t *testing.T) {
+	f := testFabric(3)
+	s := testSched(t, f, Config{Policy: PolicyLocality, StealGrace: 100 * time.Millisecond})
+	fn := s.Register(func(n *fabric.Node, arg0, arg1 uint64) {})
+	s.Start()
+
+	if node, ok := s.SpacePlacementHint(1, time.Hour); ok || node != -1 {
+		t.Fatalf("hint for unknown space = %d/%v, want -1/false", node, ok)
+	}
+
+	arena := alloc.NewArena(f, 8<<20)
+	frames := memsys.NewGlobalFrames(f, 128)
+	sp := memsys.NewSpace(f, 1, frames, arena.NodeAllocator(f.Node(0), 0), 64)
+	sp.Attach(f.Node(2), arena.NodeAllocator(f.Node(2), 0), nil, 16)
+
+	n0 := f.Node(0)
+	h := s.SubmitToSpace(n0, sp, Task{Fn: fn})
+	if node, ok := s.SpacePlacementHint(sp.ID, time.Hour); !ok || node != 2 {
+		t.Fatalf("hint = %d/%v, want node 2 (the attached node)", node, ok)
+	}
+	s.Wait(n0, h)
+
+	// An aged hint no longer protects the node.
+	s.hints.mu.Lock()
+	hh := s.hints.m[sp.ID]
+	hh.at = hh.at.Add(-time.Minute)
+	s.hints.m[sp.ID] = hh
+	s.hints.mu.Unlock()
+	if _, ok := s.SpacePlacementHint(sp.ID, time.Second); ok {
+		t.Fatal("expired hint still reported")
+	}
+	// A fresh submit renews it.
+	s.Wait(n0, s.SubmitToSpace(n0, sp, Task{Fn: fn}))
+	if node, ok := s.SpacePlacementHint(sp.ID, time.Second); !ok || node != 2 {
+		t.Fatalf("renewed hint = %d/%v, want node 2", node, ok)
+	}
+}

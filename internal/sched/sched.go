@@ -176,6 +176,8 @@ type Scheduler struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	hints hintTable // recent per-space placements (see hints.go)
+
 	dispatch   *metrics.Histogram // submit -> first claim
 	redispatch *metrics.Histogram // lease reclaim -> re-claim
 	service    *metrics.Histogram // claim -> completion
@@ -346,6 +348,9 @@ func (s *Scheduler) SubmitToSpace(from *fabric.Node, sp *memsys.Space, t Task) H
 		if l := from.AtomicLoad64(s.loadG(id)); l < best {
 			best, t.Preferred = l, id
 		}
+	}
+	if t.Preferred >= 0 {
+		s.noteSpacePlacement(sp.ID, t.Preferred)
 	}
 	return s.Submit(from, t)
 }

@@ -70,6 +70,8 @@ const (
 	// memsys: arg0 = virtual page number.
 	KShootdown // TLB shootdown broadcast; arg1 = peers signaled
 	KMigrate   // page relocated local -> global; arg1 = owner node
+	KPromote   // tiering promotion; instant: arg1 = dest node (^0 = warm tier); span: arg0 = step
+	KDemote    // tiering demotion; instant: arg1 = dest tier (0 warm, 1 cold); span: arg0 = step
 	// serverless: arg0 = function-name hash.
 	KInvoke // begin/end: one invocation; arg1 = payload bytes
 	KPlace  // placement decision; arg1 = chosen node
@@ -119,6 +121,10 @@ func (k Kind) String() string {
 		return "shootdown"
 	case KMigrate:
 		return "migrate"
+	case KPromote:
+		return "promote"
+	case KDemote:
+		return "demote"
 	case KInvoke:
 		return "invoke"
 	case KPlace:
