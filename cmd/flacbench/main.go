@@ -18,6 +18,7 @@
 //	flacbench -experiment tiering      # hotness-tiered placement daemon vs static tiers
 //	flacbench -experiment trace        # flight-recorder overhead budget
 //	flacbench -experiment membership   # failure detection vs per-subsystem recovery
+//	flacbench -experiment health       # gray-failure drain vs liveness-only baseline
 //	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
 //	flacbench -experiment torture -seed 42            # replay one failing seed
 //	flacbench -experiment torture -torture-break ring-invalidate  # checker self-test
@@ -43,6 +44,11 @@
 // through a generation fence, a detection/recovery timeout, a lost or
 // double-completed task, or membership recovery failing to beat the
 // lease-expiry baseline.
+// The health experiment exits nonzero when the anomaly-driven drain or
+// rejoin never completes, a zombie write leaks through the early
+// (pre-death) or post-crash generation fence, the liveness-only
+// baseline declares the gray (alive, slow) node dead, exactly-once
+// breaks, or proactive draining misses its tail-improvement gate.
 // With -bench-json, experiments that publish machine-readable headline
 // numbers write them to BENCH_<name>.json for cross-PR tracking.
 package main
@@ -59,12 +65,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|redisscale|tiering|trace|membership|torture|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|redisscale|tiering|trace|membership|health|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
-	tortureBreak := flag.String("torture-break", "", "torture: enable a deliberately broken sync path (ring-invalidate|shootdown); the run must then be caught as FAIL")
-	tortureWorkload := flag.String("torture-workload", "", "torture: restrict the matrix to one workload (ds|sched|fs|memsys|redisrack|membership)")
+	tortureBreak := flag.String("torture-break", "", "torture: enable a deliberately broken sync path (ring-invalidate|shootdown|drain-fence); the run must then be caught as FAIL")
+	tortureWorkload := flag.String("torture-workload", "", "torture: restrict the matrix to one workload (ds|sched|fs|memsys|redisrack|membership|health)")
 	benchJSON := flag.Bool("bench-json", false, "write each experiment's machine-readable headline to BENCH_<name>.json")
 	flag.Parse()
 
@@ -131,7 +137,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "redisscale", "tiering", "trace", "membership", "torture"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "redisscale", "tiering", "trace", "membership", "health", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -143,7 +149,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "redisscale" || *exp == "tiering" || *exp == "membership" {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "redisscale" || *exp == "tiering" || *exp == "membership" || *exp == "health" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -220,6 +226,20 @@ func main() {
 			res, failed = experiments.Membership(cfg)
 			if failed {
 				fmt.Fprintln(os.Stderr, "flacbench: membership experiment leaked a zombie write, timed out detecting/recovering, lost exactly-once, or did not beat the lease-expiry baseline")
+				exitCode = 1
+			}
+		} else if name == "health" {
+			cfg := experiments.DefaultHealth()
+			if *quick {
+				// A third of the tasks per ramp level; the ramp itself (and
+				// with it the accounting-derived bench headline) is identical
+				// to the full run, so BENCH_health.json never drifts with -quick.
+				cfg.TasksPerLevel = 80
+			}
+			var failed bool
+			res, failed = experiments.Health(cfg)
+			if failed {
+				fmt.Fprintln(os.Stderr, "flacbench: health experiment failed its drain/rejoin, leaked a zombie write through a fence, false-killed the gray baseline node, broke exactly-once, or missed its tail gate")
 				exitCode = 1
 			}
 		} else if name == "trace" {

@@ -109,6 +109,13 @@ func TestEveryExperimentQuickSmoke(t *testing.T) {
 			}
 			return res
 		}},
+		{"health", func() *Result {
+			res, failed := Health(quickHealth())
+			if failed {
+				t.Errorf("health experiment reported failure in smoke sizes:\n%s", res)
+			}
+			return res
+		}},
 		{"torture", func() *Result {
 			cfg := DefaultTorture()
 			cfg.Seeds = []int64{1}
@@ -219,6 +226,51 @@ func TestTieringDeterministic(t *testing.T) {
 		if b.Ratios[k] != v {
 			t.Errorf("ratio %q differs: %v vs %v", k, v, b.Ratios[k])
 		}
+	}
+}
+
+// quickHealth is the CI-quick health configuration, matching flacbench
+// -quick: a third of the closed-loop tasks per ramp level. The ramp
+// itself is untouched — the bench headline is derived from RampHops, and
+// shrinking it would change the tracked BENCH_health.json artifact.
+func quickHealth() HealthConfig {
+	cfg := DefaultHealth()
+	cfg.TasksPerLevel = 80
+	return cfg
+}
+
+// TestHealthBenchHeadline pins the health experiment's machine-readable
+// contract: a Bench named "health" whose percentiles are the VIRTUAL
+// per-op fabric cost on a healthy link (p50) versus the worst ramp level
+// (p99) — accounting-derived, so it must also be bit-identical across
+// runs and across -quick vs full sizes for the tracked-artifact drift
+// check to hold.
+func TestHealthBenchHeadline(t *testing.T) {
+	t.Parallel()
+	res, failed := Health(quickHealth())
+	if failed {
+		t.Fatalf("health failed at smoke sizes:\n%s", res)
+	}
+	b := res.Bench
+	if b == nil {
+		t.Fatal("health result has no Bench headline")
+	}
+	if b.Name != "health" {
+		t.Errorf("bench name %q", b.Name)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("headline fails Validate: %v", err)
+	}
+	sameBench := func(a, b *Bench) bool {
+		return a.Name == b.Name && a.OpsPerSec == b.OpsPerSec &&
+			a.P50NS == b.P50NS && a.P99NS == b.P99NS
+	}
+	quick, full := healthBench(quickHealth()), healthBench(DefaultHealth())
+	if !sameBench(quick, full) {
+		t.Errorf("bench headline differs across quick/full sizes: %+v vs %+v", quick, full)
+	}
+	if again := healthBench(DefaultHealth()); !sameBench(again, full) {
+		t.Errorf("bench headline differs across runs: %+v vs %+v", again, full)
 	}
 }
 

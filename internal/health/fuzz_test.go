@@ -1,0 +1,134 @@
+package health
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Health lines are read straight out of the arena, so under torture
+// faults the detector can see anything: half of one publish and half of
+// another, scrub-detectable bit flips, a retired generation's line. The
+// decoder is the only gate — FuzzHealthRecordDecode drives arbitrary
+// lines through it and checks that everything it accepts is exactly a
+// canonical encoding with in-range fields, the same contract membership
+// fuzzes for its heartbeat records.
+func FuzzHealthRecordDecode(f *testing.F) {
+	// Canonical records at a few shapes.
+	f.Add(lineBytes(EncodeRecord(Record{Node: 1, Slot: 3, Generation: 1, LatEWMANS: 450, ErrEWMAMilli: 120, LeaseExpiries: 2, ClaimFails: 9, LinkHops: 0, Seq: 1})), 3)
+	f.Add(lineBytes(EncodeRecord(Record{Node: 0, Slot: 0, Generation: 1 << 32, LatEWMANS: 1 << 50, ErrEWMAMilli: 0, LeaseExpiries: ^uint32(0), ClaimFails: ^uint32(0), LinkHops: 255, Seq: 1 << 50})), 0)
+	// Never-published slot (all zero) and a torn variant of it.
+	f.Add(make([]byte, recordBytes), 0)
+	torn := lineBytes(EncodeRecord(Record{Node: 2, Slot: 2, Generation: 7, LatEWMANS: 900, Seq: 9}))
+	torn[offLatEWMA] ^= 0x01 // latency word from a different publish
+	f.Add(torn, 2)
+	// Valid checksum but out-of-policy fields.
+	f.Add(lineBytes(EncodeRecord(Record{Node: 4, Slot: 4, Generation: 0, Seq: 3})), 4)
+	f.Add(lineBytes(EncodeRecord(Record{Node: 5, Slot: 5, Generation: 1<<32 + 1, Seq: 3})), 5)
+
+	f.Fuzz(func(t *testing.T, data []byte, wantSlot int) {
+		var line [recordBytes]byte
+		copy(line[:], data)
+		wantSlot &= 0xff // slots are uint8-addressed, like the table's
+
+		rec, err := DecodeRecord(line, wantSlot)
+		if err != nil {
+			return // rejection is always safe; acceptance carries the burden
+		}
+		// Anything accepted must satisfy the policy the detector relies on.
+		if int(rec.Slot) != wantSlot {
+			t.Fatalf("accepted record for slot %d when reading slot %d", rec.Slot, wantSlot)
+		}
+		if rec.Generation == 0 || rec.Generation > 1<<32 {
+			t.Fatalf("accepted out-of-range generation %#x", rec.Generation)
+		}
+		if rec.Seq == 0 {
+			t.Fatal("accepted a record with seq 0")
+		}
+		// And must be exactly a canonical encoding: no accepted line that
+		// EncodeRecord could not itself have produced.
+		re := EncodeRecord(rec)
+		if !bytes.Equal(re[:], line[:]) {
+			t.Fatalf("accepted non-canonical line:\n got %x\nwant %x", line, re)
+		}
+	})
+}
+
+func lineBytes(b [recordBytes]byte) []byte { return b[:] }
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := Record{Node: 7, Slot: 9, Generation: 42, LatEWMANS: 1234, ErrEWMAMilli: 567,
+		LeaseExpiries: 8, ClaimFails: 90, LinkHops: 6, Seq: 1000}
+	got, err := DecodeRecord(EncodeRecord(r), 9)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != r {
+		t.Fatalf("round trip: got %+v want %+v", got, r)
+	}
+}
+
+func TestRecordRejections(t *testing.T) {
+	valid := Record{Node: 1, Slot: 2, Generation: 5, LatEWMANS: 800, ErrEWMAMilli: 10,
+		LeaseExpiries: 1, ClaimFails: 2, LinkHops: 3, Seq: 77}
+
+	cases := []struct {
+		name    string
+		mutate  func(*[recordBytes]byte)
+		slot    int
+		wantErr error
+	}{
+		{"zero line", func(b *[recordBytes]byte) { *b = [recordBytes]byte{} }, 2, ErrZeroRecord},
+		{"torn zero line", func(b *[recordBytes]byte) {
+			*b = [recordBytes]byte{}
+			b[offGen] = 0x5a // payload word landed, seq word did not
+		}, 2, ErrBadChecksum},
+		{"bad magic", func(b *[recordBytes]byte) { b[7] ^= 0xff }, 2, ErrBadMagic},
+		{"flipped latency", func(b *[recordBytes]byte) { b[offLatEWMA] ^= 0x01 }, 2, ErrBadChecksum},
+		{"flipped seq", func(b *[recordBytes]byte) { b[offSeq+2] ^= 0x10 }, 2, ErrBadChecksum},
+		{"flipped reserved bits", func(b *[recordBytes]byte) { b[0] = 1 }, 2, ErrBadChecksum},
+		{"wrong slot", nil, 3, ErrBadSlot},
+		{"zero generation", func(b *[recordBytes]byte) {
+			*b = EncodeRecord(Record{Node: 1, Slot: 2, Generation: 0, Seq: 77})
+		}, 2, ErrBadGen},
+		{"oversized generation", func(b *[recordBytes]byte) {
+			*b = EncodeRecord(Record{Node: 1, Slot: 2, Generation: 1<<32 + 1, Seq: 77})
+		}, 2, ErrBadGen},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			line := EncodeRecord(valid)
+			if tc.mutate != nil {
+				tc.mutate(&line)
+			}
+			_, err := DecodeRecord(line, tc.slot)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A torn publish — any strict byte-prefix of the new line over the old
+// one — must either decode as the OLD record or be rejected; it must
+// never surface fields from the new publish, because fabric commits
+// flushed words in ascending order and the seq (last word) is the
+// publication gate.
+func TestTornPublishNeverYieldsNewFields(t *testing.T) {
+	old := EncodeRecord(Record{Node: 1, Slot: 0, Generation: 3, LatEWMANS: 500, LinkHops: 0, Seq: 10})
+	next := EncodeRecord(Record{Node: 1, Slot: 0, Generation: 3, LatEWMANS: 5000, LinkHops: 12, Seq: 11})
+	for cut := 0; cut < recordBytes; cut++ { // cut=recordBytes would be a full publish
+		line := old
+		copy(line[:cut], next[:cut])
+		if line == next {
+			continue // prefix happens to reconstruct the complete publish
+		}
+		rec, err := DecodeRecord(line, 0)
+		if err != nil {
+			continue
+		}
+		if rec.Seq != 10 || rec.LatEWMANS != 500 || rec.LinkHops != 0 {
+			t.Fatalf("cut %d: torn line decoded to new-publish fields: %+v", cut, rec)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package health is the rack's gray-failure layer: an anomaly detector
+// that folds per-node performance signals into arena-resident health
+// records, and a self-healing controller that drains, fences, re-places
+// and rejoins degrading nodes BEFORE the liveness detector declares them
+// dead.
+//
+// Membership answers "is the node there?"; health answers "is the node
+// still pulling its weight?". A gray-failing node — a flaky interconnect
+// link, a slow-degrading DIMM, CPUs losing every claim race — keeps its
+// heartbeat perfectly healthy while its latency tail poisons the whole
+// rack. The health layer publishes each node's own view of its signals
+// (latency EWMA, error EWMA, sched anomaly counters, link degradation)
+// in one cache line per slot under the same publication contract as the
+// membership heartbeat table, and every agent independently evaluates
+// every slot against the rack median. Detection state transitions ride
+// a separate fabric-atomics-only control line, CAS-guarded exactly like
+// membership's, and surface as EvDegraded/EvRecovered events on the
+// membership event stream.
+package health
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"flacos/internal/fabric"
+)
+
+// The health record reuses the heartbeat table's publication contract:
+// one cache line per node slot, republished by the owner as a single
+// full-line store plus one explicit write-back. fabric commits a
+// flushed line's words in ascending order, so the sequence counter —
+// the LAST word — lands at home only after every payload word of the
+// same flush; a reader observing a new seq observes the matching
+// payload, and a crash mid-publish loses the sample cleanly instead of
+// tearing it. Detection state lives on a separate fabric-atomics-only
+// control line (see health.go) — the two must never share a line.
+//
+// Record line layout (8 little-endian words):
+//
+//	w0 magic(32) | node(8) | slot(8) | reserved(16)
+//	w1 generation   (the slot's membership generation when sampled)
+//	w2 latency EWMA (ns per fabric op, owner-smoothed)
+//	w3 error EWMA   (errors per observation window, fixed-point millis)
+//	w4 leaseExpiries(32) | claimFails(32)  (cumulative sched counters)
+//	w5 linkHops     (the node's current extra fabric hops)
+//	w6 checksum     (mix of words 0-5 and the seq)
+//	w7 seq          (publication word: strictly increasing sample counter)
+const (
+	recordBytes = fabric.LineSize
+
+	offMagic    = 0
+	offGen      = 8
+	offLatEWMA  = 16
+	offErrEWMA  = 24
+	offSched    = 32
+	offLinkHops = 40
+	offCkSum    = 48
+	offSeq      = 56
+
+	recordMagic = 0x464c484c // "FLHL"
+)
+
+// ewmaScale is the fixed-point scale for the error EWMA word: the
+// owner's float EWMA is published as round(rate * ewmaScale), giving
+// milli-error resolution without floats in the line image.
+const ewmaScale = 1000
+
+// Record is one decoded health observation: the owner's own smoothed
+// view of its signals at publish time.
+//
+//flac:shared
+type Record struct {
+	Node          uint8
+	Slot          uint8
+	Generation    uint64 // membership generation the sample belongs to
+	LatEWMANS     uint64 // smoothed ns per fabric op
+	ErrEWMAMilli  uint64 // smoothed errors per window, fixed-point 1/1000
+	LeaseExpiries uint32 // cumulative sched lease expiries charged to the node
+	ClaimFails    uint32 // cumulative claim-CAS losses
+	LinkHops      uint64 // extra fabric hops on the node's links
+	Seq           uint64 // strictly increasing sample counter
+}
+
+// Decode validation errors. The detector treats every one of them as
+// "no usable sample": a record torn by a crash, corrupted in transit,
+// or left over from an earlier generation must never drive a detection
+// transition.
+var (
+	ErrBadMagic    = errors.New("health: record magic mismatch")
+	ErrBadSlot     = errors.New("health: record slot mismatch")
+	ErrBadChecksum = errors.New("health: record checksum mismatch")
+	ErrZeroRecord  = errors.New("health: record has no sample yet")
+	ErrBadGen      = errors.New("health: record generation invalid")
+)
+
+// mix64 is the splitmix64 finalizer, the same mixing membership's
+// heartbeat checksum uses.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// recordSum folds the payload words and the seq into one checksum word.
+// An integrity check against torn and bit-flipped lines, not an
+// authentication code.
+func recordSum(w0, gen, lat, errw, sched, hops, seq uint64) uint64 {
+	h := mix64(w0 ^ 0x6865616c74687265)
+	h = mix64(h ^ gen)
+	h = mix64(h ^ lat)
+	h = mix64(h ^ errw)
+	h = mix64(h ^ sched)
+	h = mix64(h ^ hops)
+	h = mix64(h ^ seq)
+	return h
+}
+
+// EncodeRecord packs r into its line image.
+func EncodeRecord(r Record) [recordBytes]byte {
+	var b [recordBytes]byte
+	w0 := uint64(recordMagic)<<32 | uint64(r.Node)<<24 | uint64(r.Slot)<<16
+	sched := uint64(r.LeaseExpiries)<<32 | uint64(r.ClaimFails)
+	binary.LittleEndian.PutUint64(b[offMagic:], w0)
+	binary.LittleEndian.PutUint64(b[offGen:], r.Generation)
+	binary.LittleEndian.PutUint64(b[offLatEWMA:], r.LatEWMANS)
+	binary.LittleEndian.PutUint64(b[offErrEWMA:], r.ErrEWMAMilli)
+	binary.LittleEndian.PutUint64(b[offSched:], sched)
+	binary.LittleEndian.PutUint64(b[offLinkHops:], r.LinkHops)
+	binary.LittleEndian.PutUint64(b[offCkSum:],
+		recordSum(w0, r.Generation, r.LatEWMANS, r.ErrEWMAMilli, sched, r.LinkHops, r.Seq))
+	binary.LittleEndian.PutUint64(b[offSeq:], r.Seq)
+	return b
+}
+
+// DecodeRecord unpacks and validates a health line read from the arena
+// for slot wantSlot. A failed decode means the observation carries no
+// information — never that the node is healthy or degraded. Every
+// accepted line is exactly what EncodeRecord would produce (accepted =>
+// canonical round-trip), so corruption in reserved bits is rejected
+// even though the checksum does not cover them individually.
+func DecodeRecord(b [recordBytes]byte, wantSlot int) (Record, error) {
+	w0 := binary.LittleEndian.Uint64(b[offMagic:])
+	gen := binary.LittleEndian.Uint64(b[offGen:])
+	lat := binary.LittleEndian.Uint64(b[offLatEWMA:])
+	errw := binary.LittleEndian.Uint64(b[offErrEWMA:])
+	sched := binary.LittleEndian.Uint64(b[offSched:])
+	hops := binary.LittleEndian.Uint64(b[offLinkHops:])
+	sum := binary.LittleEndian.Uint64(b[offCkSum:])
+	seq := binary.LittleEndian.Uint64(b[offSeq:])
+	if seq == 0 {
+		// A slot that has never published is all-zero by construction;
+		// report it distinctly so callers can tell "empty" from "garbage".
+		for _, x := range b {
+			if x != 0 {
+				return Record{}, ErrBadChecksum
+			}
+		}
+		return Record{}, ErrZeroRecord
+	}
+	if w0>>32 != recordMagic {
+		return Record{}, ErrBadMagic
+	}
+	if sum != recordSum(w0, gen, lat, errw, sched, hops, seq) {
+		return Record{}, ErrBadChecksum
+	}
+	if w0&0xffff != 0 {
+		return Record{}, ErrBadChecksum
+	}
+	r := Record{
+		Node:          uint8(w0 >> 24),
+		Slot:          uint8(w0 >> 16),
+		Generation:    gen,
+		LatEWMANS:     lat,
+		ErrEWMAMilli:  errw,
+		LeaseExpiries: uint32(sched >> 32),
+		ClaimFails:    uint32(sched),
+		LinkHops:      hops,
+		Seq:           seq,
+	}
+	if int(r.Slot) != wantSlot {
+		return Record{}, ErrBadSlot
+	}
+	if gen == 0 || gen > 1<<32 {
+		return Record{}, ErrBadGen
+	}
+	return r, nil
+}

@@ -1,0 +1,93 @@
+package health
+
+import (
+	"sync/atomic"
+
+	"flacos/internal/fabric"
+)
+
+// Signals is one observation window's worth of raw anomaly inputs for a
+// node, sampled by the node itself (the owner is the only party that
+// can read its own counters without fabric traffic).
+type Signals struct {
+	// Ops and VirtualNS are window deltas of the node's fabric traffic;
+	// VirtualNS/Ops is the node's own average ns-per-op, the latency
+	// drift signal. A degraded link inflates it directly (every global
+	// op pays the extra hops).
+	Ops       uint64
+	VirtualNS uint64
+	// Errors is the window's error count: injected faults observed on
+	// the node's write-back path plus whatever external feeds (the
+	// reliability scrubber, torture attribution) charged to the node.
+	Errors uint64
+	// LeaseExpiries and ClaimFails are CUMULATIVE sched anomaly
+	// counters (see sched.NodeHealthCounters); the detector publishes
+	// them raw and lets observers diff.
+	LeaseExpiries uint64
+	ClaimFails    uint64
+	// LinkHops is the node's current extra fabric hops — the one signal
+	// that is a direct reading rather than a rate.
+	LinkHops uint64
+}
+
+// SignalSource produces one Signals sample per observation window.
+// Implementations must be safe to call from the health agent goroutine.
+type SignalSource interface {
+	Sample() Signals
+}
+
+// SchedCounters is the slice of sched the health layer consumes.
+// *sched.Scheduler satisfies it.
+type SchedCounters interface {
+	NodeHealthCounters(id int) (leaseExpiries, claimFails uint64)
+}
+
+// NodeSource is the standard SignalSource for a live rack node: fabric
+// traffic deltas from the node's own stats, injected-fault counts, sched
+// anomaly counters, link degradation, plus an external error feed for
+// layers (the reliability scrubber) that detect a node's corruption
+// somewhere other than the node itself.
+type NodeSource struct {
+	n     *fabric.Node
+	sched SchedCounters // may be nil
+
+	prev     fabric.NodeStatsSnapshot
+	extErr   atomic.Uint64
+	prevEErr uint64
+}
+
+// NewNodeSource builds a source for n. sched may be nil when no
+// scheduler runs on the rack.
+func NewNodeSource(n *fabric.Node, sched SchedCounters) *NodeSource {
+	return &NodeSource{n: n, sched: sched, prev: n.Stats()}
+}
+
+// AddErrors charges k externally-detected errors to the node — the
+// scrubber attribution path: a scrub pass that repairs a corrupt region
+// homed on (or written by) this node calls AddErrors so the corruption
+// shows up in the node's error EWMA even though the node itself never
+// observed the fault.
+func (s *NodeSource) AddErrors(k uint64) { s.extErr.Add(k) }
+
+// Sample implements SignalSource. Not reentrant: the health agent is
+// the only caller.
+func (s *NodeSource) Sample() Signals {
+	cur := s.n.Stats()
+	d := cur.Delta(s.prev)
+	s.prev = cur
+	ext := s.extErr.Load()
+	extD := ext - s.prevEErr
+	s.prevEErr = ext
+	var le, cf uint64
+	if s.sched != nil {
+		le, cf = s.sched.NodeHealthCounters(s.n.ID())
+	}
+	return Signals{
+		Ops:           d.Loads + d.Stores + d.Atomics,
+		VirtualNS:     d.VirtualNS,
+		Errors:        d.FaultsInjected + extD,
+		LeaseExpiries: le,
+		ClaimFails:    cf,
+		LinkHops:      uint64(s.n.LinkDegradation()),
+	}
+}

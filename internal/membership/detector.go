@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flacos/internal/fabric"
 	"flacos/internal/trace"
 )
 
@@ -185,6 +186,27 @@ func (m *Member) observeSlot(slot int, w uint64, maxVNS uint64) {
 			}
 		}
 	}
+}
+
+// Suspect forces slot Alive -> Suspect through node n — exactly the
+// CAS the detector performs when phi crosses PhiSuspect, minus the phi.
+// For tests and fault-injection tooling that script suspicion instead
+// of waiting out a real beat gap; the suspected node refutes it like
+// any other suspicion. Returns whether the CAS won.
+func (t *Table) Suspect(n *fabric.Node, slot int) bool {
+	if slot < 0 || slot >= t.cfg.Slots {
+		return false
+	}
+	w := n.AtomicLoad64(t.ctlSlotG(slot))
+	if ctlState(w) != StateAlive {
+		return false
+	}
+	next := packCtl(ctlGen(w), ctlInc(w), ctlNode(w), StateSuspect)
+	if !n.CAS64(t.ctlSlotG(slot), w, next) {
+		return false
+	}
+	n.AtomicStore64(t.stampG(slot), n.VirtualNS())
+	return true
 }
 
 // refuteIfSuspected handles the member's OWN slot: a live node that

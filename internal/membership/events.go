@@ -18,6 +18,15 @@ const (
 	EvDead
 	// EvLeft: a clean departure; no crash recovery needed.
 	EvLeft
+	// EvDegraded: the health layer's anomaly detector concluded the
+	// slot's occupant is degrading (gray failure) while still alive.
+	// Raised by internal/health onto the same stream so consumers see
+	// liveness and health transitions in one place; the self-healing
+	// controller reacts by draining the node BEFORE it dies.
+	EvDegraded
+	// EvRecovered: the degraded node's signals returned to normal under
+	// the same generation; the controller may rejoin it.
+	EvRecovered
 )
 
 func (k EventKind) String() string {
@@ -32,6 +41,10 @@ func (k EventKind) String() string {
 		return "dead"
 	case EvLeft:
 		return "left"
+	case EvDegraded:
+		return "degraded"
+	case EvRecovered:
+		return "recovered"
 	}
 	return "event(?)"
 }
@@ -104,6 +117,16 @@ func (t *Table) setAliveMirror(node int, alive bool) {
 	}
 	t.alive[node].Store(alive)
 }
+
+// Publish delivers ev to this member's subscribers as if the member's
+// own agent had observed it. It is how companion layers extend the
+// rack-wide stream with transitions the membership control table does
+// not carry — internal/health raises EvDegraded/EvRecovered through it
+// — so consumers subscribe once and see liveness AND health in one
+// ordered feed. Same contract as agent-delivered events: when several
+// members' companions publish the same rack-wide transition, consumers
+// must dedup on (Slot, Generation).
+func (m *Member) Publish(ev Event) { m.deliver(ev) }
 
 func (m *Member) deliver(ev Event) {
 	m.subMu.Lock()

@@ -330,3 +330,70 @@ func TestLeaveDeliversLeftNotDead(t *testing.T) {
 		t.Error("left node still alive in mirror")
 	}
 }
+
+// TestSuspectHeldNodeKeepsHeartbeating: a node pinned at StateSuspect
+// by repeated scripted suspicion never stops publishing — its beat
+// keeps advancing and its incarnation keeps bumping through refutation.
+// This is the contract internal/health builds on: a Suspect node is a
+// live signal source, not a silent one, so gray-failure detection keeps
+// working exactly when the liveness layer is unsure about the node.
+func TestSuspectHeldNodeKeepsHeartbeating(t *testing.T) {
+	f := testFabric(2)
+	tb := New(f, fastCfg())
+	ms := joinAll(t, tb, f, 2)
+	for _, m := range ms {
+		m.Start()
+	}
+	defer func() {
+		for _, m := range ms {
+			m.Stop()
+		}
+	}()
+
+	n0 := f.Node(0)
+	readBeat := func() uint64 {
+		g := tb.hbSlotG(1)
+		n0.InvalidateRange(g, recordBytes)
+		var line [recordBytes]byte
+		n0.Read(g, line[:])
+		rec, err := DecodeRecord(line, 1, tb.maxVNS())
+		if err != nil {
+			return 0
+		}
+		return rec.Beat
+	}
+
+	// Pin slot 1 at Suspect: re-suspect as fast as node 1 refutes, and
+	// sample the heartbeat while the control word churns.
+	deadline := time.Now().Add(2 * time.Second)
+	start := readBeat()
+	sawSuspect, advanced := false, false
+	var maxInc uint64
+	for time.Now().Before(deadline) && !(sawSuspect && advanced && maxInc > 0) {
+		tb.Suspect(n0, 1)
+		si := tb.Snapshot(n0)[1]
+		if si.State == StateSuspect {
+			sawSuspect = true
+		}
+		if si.Incarnation > maxInc {
+			maxInc = si.Incarnation
+		}
+		if b := readBeat(); b > start {
+			advanced = true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if !sawSuspect {
+		t.Fatal("slot never observed Suspect under scripted suspicion")
+	}
+	if !advanced {
+		t.Fatal("heartbeat froze while the node was held Suspect")
+	}
+	if maxInc == 0 {
+		t.Fatal("incarnation never bumped: the node stopped refuting")
+	}
+	// The slot must come back to rest Alive once the harassment stops.
+	waitFor(t, "final refutation", func() bool {
+		return tb.Snapshot(n0)[1].State == StateAlive
+	})
+}

@@ -1,0 +1,23 @@
+package sched
+
+// This file is the scheduler's slice of the health layer's anomaly
+// surface (internal/health): per-node counters whose RATE is a gray-
+// failure signal. A node whose leases keep expiring is stalling or
+// partitioned; a node that keeps losing claim CASes is being outrun —
+// its interconnect path or its CPUs are slower than its peers'. The
+// health layer samples these each observation window, folds the deltas
+// into its EWMA detector, and publishes them in the node's arena
+// health record next to the fabric latency and error signals.
+
+// NodeHealthCounters returns node id's lifetime anomaly counters:
+// leaseExpiries counts leases reclaimed FROM the node (its runners went
+// silent mid-task — keeper expiry and membership sweeps both count),
+// claimFails counts task-claim CASes the node lost (contention it is
+// losing, a relative-slowness signal). Both are cheap host-side reads;
+// callers diff successive samples to get rates.
+func (s *Scheduler) NodeHealthCounters(id int) (leaseExpiries, claimFails uint64) {
+	if id < 0 || id >= len(s.nodeLeaseExp) {
+		return 0, 0
+	}
+	return s.nodeLeaseExp[id].Load(), s.nodeClaimFail[id].Load()
+}

@@ -97,6 +97,9 @@ func (s *Scheduler) reclaim(n *fabric.Node, id int, i, w uint64) {
 	n.Add64(s.queuedG(), 1)
 	n.AtomicStore64(s.stateG(i), packState(stGen(w), stAttempt(w)+1, 0, stQueued))
 	s.reclaimed.Add(1)
+	if owner >= 0 && owner < len(s.nodeLeaseExp) {
+		s.nodeLeaseExp[owner].Add(1)
+	}
 	if tw := s.tw(id); tw != nil {
 		tw.Emit(trace.SubSched, trace.KLeaseExpiry, 0, i, uint64(owner))
 	}

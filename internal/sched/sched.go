@@ -173,6 +173,13 @@ type Scheduler struct {
 	localSub    atomic.Uint64
 	localDone   atomic.Uint64
 
+	// Per-node anomaly counters the health layer samples (see health.go
+	// in this package): lease expiries are charged to the node whose
+	// lease was reclaimed, claim-CAS losses to the node that lost the
+	// claim. Host-side only — they cost the hot paths one atomic add.
+	nodeLeaseExp  []atomic.Uint64
+	nodeClaimFail []atomic.Uint64
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -216,6 +223,8 @@ func New(f *fabric.Fabric, cfg Config) *Scheduler {
 	}
 	nn := f.NumNodes()
 	s.notServing = make([]atomic.Bool, nn)
+	s.nodeLeaseExp = make([]atomic.Uint64, nn)
+	s.nodeClaimFail = make([]atomic.Uint64, nn)
 	s.tr.trw = make([]atomic.Pointer[trace.Writer], nn)
 	s.inboxes = make([]*ds.MPSCRing, nn)
 	s.localQ = make([]chan LocalTask, nn)

@@ -144,10 +144,12 @@ func (s *Scheduler) scanAndRun(n *fabric.Node, id int) bool {
 func (s *Scheduler) claimAndRun(n *fabric.Node, id int, slot uint64) bool {
 	w := n.AtomicLoad64(s.stateG(slot))
 	if stState(w) != stQueued {
+		s.nodeClaimFail[id].Add(1)
 		return false
 	}
 	running := packState(stGen(w), stAttempt(w), id, stRunning)
 	if !n.CAS64(s.stateG(slot), w, running) {
+		s.nodeClaimFail[id].Add(1)
 		return false
 	}
 	// Lease: record the beat this claim starts at; the node's keeper

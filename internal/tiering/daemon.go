@@ -99,6 +99,7 @@ type Stats struct {
 	FailedMoves   uint64 // CAS losses / stale model, resynced via TierOf
 	HintVetoes    uint64 // demotions skipped for a sched-hinted node
 	Displaced     uint64 // budget evictions (both tiers)
+	DrainEvicted  uint64 // local pages pushed off a drained node
 }
 
 // pageState is what the daemon believes about one managed page. The
@@ -121,6 +122,13 @@ type Daemon struct {
 	migMu    sync.Mutex
 	migrated map[uint64]struct{}
 
+	// drained marks nodes the health layer's self-healing controller is
+	// moving work off: the daemon stops promoting pages toward them and
+	// actively spills their local pages back to warm global memory. The
+	// flag outranks the sched hint truce — a drain is a deliberate
+	// decision to give up the node's locality, hints notwithstanding.
+	drained []atomic.Bool
+
 	// Step-private placement model (Step is single-flight under stepMu).
 	stepMu     sync.Mutex
 	state      map[uint64]pageState
@@ -129,7 +137,7 @@ type Daemon struct {
 
 	stats struct {
 		steps, promLocal, promWarm, demWarm, demCold atomic.Uint64
-		failed, vetoes, displaced                    atomic.Uint64
+		failed, vetoes, displaced, drainEvicted      atomic.Uint64
 	}
 
 	tw atomic.Pointer[trace.Writer]
@@ -152,6 +160,7 @@ func New(sp *memsys.Space, mmus []*memsys.MMU, cfg Config, hints Hints) *Daemon 
 		heat:       NewHeatMap(len(mmus)),
 		hints:      hints,
 		migrated:   make(map[uint64]struct{}),
+		drained:    make([]atomic.Bool, len(mmus)),
 		state:      make(map[uint64]pageState),
 		localCount: make([]int, len(mmus)),
 		stop:       make(chan struct{}),
@@ -195,6 +204,28 @@ func (d *Daemon) Prime(vpn uint64, t memsys.Tier, node int) {
 	d.stepMu.Unlock()
 }
 
+// SetNodeDrained marks node as a (non-)target for placement: while
+// drained, the node is demoted as a promotion target — no page is
+// pulled into its local DRAM, the sched hint truce no longer protects
+// its pages, and each Step spills its managed local pages back to warm
+// global memory (under the usual per-step move budget). The health
+// layer's self-healing controller raises the flag when it drains a
+// degrading node and clears it on rejoin. Safe from any goroutine.
+func (d *Daemon) SetNodeDrained(node int, drained bool) {
+	if node < 0 || node >= len(d.drained) {
+		return
+	}
+	d.drained[node].Store(drained)
+}
+
+// NodeDrained reports whether node is currently marked drained.
+func (d *Daemon) NodeDrained(node int) bool {
+	if node < 0 || node >= len(d.drained) {
+		return false
+	}
+	return d.drained[node].Load()
+}
+
 // Stats returns a snapshot of the daemon's counters.
 func (d *Daemon) Stats() Stats {
 	return Stats{
@@ -206,6 +237,7 @@ func (d *Daemon) Stats() Stats {
 		FailedMoves:   d.stats.failed.Load(),
 		HintVetoes:    d.stats.vetoes.Load(),
 		Displaced:     d.stats.displaced.Load(),
+		DrainEvicted:  d.stats.drainEvicted.Load(),
 	}
 }
 
@@ -332,10 +364,12 @@ func (d *Daemon) Step() {
 	}
 
 	// 3. The sched truce: a node that just received placements keeps its
-	// pages this step.
+	// pages this step — unless the health layer drained it, in which case
+	// the truce yields (the drain already decided the node loses its
+	// work, so protecting its pages would only delay the re-place).
 	veto := -1
 	if d.hints != nil {
-		if n, ok := d.hints.SpacePlacementHint(d.sp.ID, d.cfg.HintMaxAge); ok {
+		if n, ok := d.hints.SpacePlacementHint(d.sp.ID, d.cfg.HintMaxAge); ok && !d.NodeDrained(n) {
 			veto = n
 		}
 	}
@@ -345,7 +379,8 @@ func (d *Daemon) Step() {
 	}
 
 	pl := newPlan()
-	d.planPromotions(pl, hot, heatOf, veto)
+	planned := d.planDrainEvictions(pl)
+	d.planPromotions(pl, hot, heatOf, veto, planned)
 	d.planWarmBudget(pl, heatOf)
 	d.execute(pl)
 
@@ -354,8 +389,38 @@ func (d *Daemon) Step() {
 	}
 }
 
+// planDrainEvictions spills every managed local page off drained nodes
+// back to warm global memory — the "re-place" stage of the self-healing
+// pipeline. It runs before promotion planning and returns the planned
+// set so later stages never double-move the same page.
+func (d *Daemon) planDrainEvictions(pl *plan) map[uint64]bool {
+	planned := make(map[uint64]bool)
+	for n := range d.mmus {
+		if !d.drained[n].Load() || d.localCount[n] == 0 {
+			continue
+		}
+		vpns := make([]uint64, 0, d.localCount[n])
+		for vpn, st := range d.state {
+			if st.tier == memsys.TierLocal && int(st.node) == n {
+				vpns = append(vpns, vpn)
+			}
+		}
+		sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+		for _, vpn := range vpns {
+			if pl.moves >= d.cfg.MaxMovesPerStep {
+				return planned
+			}
+			pl.demoteWarm[n] = append(pl.demoteWarm[n], vpn)
+			planned[vpn] = true
+			pl.moves++
+			d.stats.drainEvicted.Add(1)
+		}
+	}
+	return planned
+}
+
 // planPromotions walks the hot pages hottest-first and plans upward moves.
-func (d *Daemon) planPromotions(pl *plan, hot []PageStat, heatOf map[uint64]float64, veto int) {
+func (d *Daemon) planPromotions(pl *plan, hot []PageStat, heatOf map[uint64]float64, veto int, planned map[uint64]bool) {
 	byHeat := make([]PageStat, len(hot))
 	copy(byHeat, hot)
 	sort.Slice(byHeat, func(i, j int) bool {
@@ -410,16 +475,19 @@ func (d *Daemon) planPromotions(pl *plan, hot []PageStat, heatOf map[uint64]floa
 	// so admission decisions see the step's own earlier moves.
 	projWarm := d.warmCount
 
-	planned := make(map[uint64]bool) // pages already moving this step
-
 	for _, ps := range byHeat {
 		if pl.moves >= d.cfg.MaxMovesPerStep {
 			return
 		}
+		if planned[ps.VPN] {
+			continue // already moving this step (drain spill)
+		}
 		st, managed := d.state[ps.VPN]
 		dom := ps.Node
+		// A drained node never qualifies as a local home, however hot the
+		// page: the self-healing controller is moving work off it.
 		wantLocal := ps.Heat >= d.cfg.LocalHeat && ps.Share >= d.cfg.DominantShare &&
-			dom >= 0 && dom < len(d.mmus) && d.mmus[dom] != nil
+			dom >= 0 && dom < len(d.mmus) && d.mmus[dom] != nil && !d.drained[dom].Load()
 		switch {
 		case wantLocal && managed && st.tier == memsys.TierLocal && int(st.node) == dom:
 			// Already where it belongs.

@@ -464,3 +464,85 @@ func TestDaemonStartStop(t *testing.T) {
 		t.Fatal("no steps recorded")
 	}
 }
+
+// TestDaemonDrainSpillsAndBlocksPromotion: marking a node drained spills
+// its managed local pages back to warm, refuses new local promotions
+// toward it (even for a blazing-hot dominant page), and clearing the
+// flag restores normal placement — the tiering half of the self-healing
+// re-place stage.
+func TestDaemonDrainSpillsAndBlocksPromotion(t *testing.T) {
+	e := newTierEnv(t, 2)
+	e.mapPages(t, 2)
+	d := New(e.s, e.mmus, Config{}, nil)
+	d.Attach()
+	defer d.Detach()
+
+	// Page 0 earns a local frame on node 1 the normal way.
+	for i := 0; i < 16; i++ {
+		e.read(t, 1, 0)
+	}
+	d.Step()
+	if tier, node := e.tierOf(0); tier != memsys.TierLocal || node != 1 {
+		t.Fatalf("setup: tier=%v node=%d, want local on node 1", tier, node)
+	}
+
+	// Drain node 1: the next step must spill page 0 to warm even though
+	// nothing else wants the frame, and page 1 — hot and dominated by
+	// node 1 — must NOT be promoted there.
+	d.SetNodeDrained(1, true)
+	if !d.NodeDrained(1) {
+		t.Fatal("NodeDrained(1) = false after SetNodeDrained(1, true)")
+	}
+	for i := 0; i < 16; i++ {
+		e.read(t, 1, 1)
+	}
+	d.Step()
+	if tier, _ := e.tierOf(0); tier != memsys.TierWarm {
+		t.Fatalf("drained node's local page not spilled (tier=%v)", tier)
+	}
+	if tier, _ := e.tierOf(1); tier == memsys.TierLocal {
+		t.Fatal("page promoted to a drained node")
+	}
+	if st := d.Stats(); st.DrainEvicted != 1 {
+		t.Fatalf("DrainEvicted = %d, want 1", st.DrainEvicted)
+	}
+
+	// Rejoin: clearing the flag lets the hot page take its local frame.
+	d.SetNodeDrained(1, false)
+	for i := 0; i < 16; i++ {
+		e.read(t, 1, 1)
+	}
+	d.Step()
+	if tier, node := e.tierOf(1); tier != memsys.TierLocal || node != 1 {
+		t.Fatalf("after rejoin: tier=%v node=%d, want local on node 1", tier, node)
+	}
+	if st := d.Stats(); st.DrainEvicted != 1 {
+		t.Fatalf("DrainEvicted grew after rejoin: %d", st.DrainEvicted)
+	}
+}
+
+// TestDaemonDrainOutranksHintVeto: a sched placement hint normally
+// protects a node's pages from demotion, but a drained node forfeits the
+// truce — the spill proceeds hints notwithstanding.
+func TestDaemonDrainOutranksHintVeto(t *testing.T) {
+	e := newTierEnv(t, 2)
+	e.mapPages(t, 1)
+	h := &fakeHints{node: 1, ok: true}
+	d := New(e.s, e.mmus, Config{}, h)
+	d.Attach()
+	defer d.Detach()
+
+	for i := 0; i < 16; i++ {
+		e.read(t, 1, 0)
+	}
+	d.Step()
+	if tier, node := e.tierOf(0); tier != memsys.TierLocal || node != 1 {
+		t.Fatalf("setup: tier=%v node=%d, want local on node 1", tier, node)
+	}
+
+	d.SetNodeDrained(1, true)
+	d.Step()
+	if tier, _ := e.tierOf(0); tier != memsys.TierWarm {
+		t.Fatalf("hinted drain spill blocked (tier=%v)", tier)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"flacos/internal/fabric"
 	"flacos/internal/flacdk/ds"
+	"flacos/internal/health"
 	"flacos/internal/memsys"
 	"flacos/internal/trace"
 )
@@ -313,24 +314,27 @@ func ApplyBreak(name string) error {
 		ds.SetBrokenSkipPopInvalidate(true)
 	case "shootdown":
 		memsys.SetBrokenSkipShootdown(true)
+	case "drain-fence":
+		health.SetBrokenSkipDrainFence(true)
 	default:
-		return fmt.Errorf("torture: unknown break %q (want ring-invalidate|shootdown)", name)
+		return fmt.Errorf("torture: unknown break %q (want ring-invalidate|shootdown|drain-fence)", name)
 	}
 	return nil
 }
 
 // Breaks lists the valid ApplyBreak names.
-func Breaks() []string { return []string{"ring-invalidate", "shootdown"} }
+func Breaks() []string { return []string{"ring-invalidate", "shootdown", "drain-fence"} }
 
 // ClearBreaks restores every broken path.
 func ClearBreaks() {
 	ds.SetBrokenSkipPopInvalidate(false)
 	memsys.SetBrokenSkipShootdown(false)
+	health.SetBrokenSkipDrainFence(false)
 }
 
 // Workloads returns the registered workload set, in fixed order.
 func Workloads() []Workload {
-	return []Workload{newDSWorkload(), newSchedWorkload(), newFSWorkload(), newMemsysWorkload(), newRedisWorkload(), newMembershipWorkload()}
+	return []Workload{newDSWorkload(), newSchedWorkload(), newFSWorkload(), newMemsysWorkload(), newRedisWorkload(), newMembershipWorkload(), newHealthWorkload()}
 }
 
 // ByName returns the named workload, or nil.

@@ -102,6 +102,14 @@ func TestTortureCatchesShootdownBreak(t *testing.T) {
 	requireCaught(t, "memsys", "shootdown")
 }
 
+// TestTortureCatchesDrainFenceBreak: a self-healing controller that
+// forgets the EARLY fence leaves a drained-but-alive node able to write
+// through its pre-drain views; the fenced-zombie-write probe must flag
+// it the moment a drain completes.
+func TestTortureCatchesDrainFenceBreak(t *testing.T) {
+	requireCaught(t, "health", "drain-fence")
+}
+
 // TestFailureAttachesTrace: a failing sweep must come back with the
 // flight recorder's merged post-mortem attached — a non-empty timeline
 // and parseable Chrome JSON — while a passing sweep stays lean.

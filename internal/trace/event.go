@@ -21,6 +21,7 @@ const (
 	SubApp
 	SubRedis
 	SubMembership
+	SubHealth
 	numSubsys
 )
 
@@ -44,6 +45,8 @@ func (s Subsys) String() string {
 		return "redis"
 	case SubMembership:
 		return "membership"
+	case SubHealth:
+		return "health"
 	}
 	return fmt.Sprintf("sub(%d)", uint8(s))
 }
@@ -92,6 +95,13 @@ const (
 	KResync  // begin/end: a hot-plugged node's resync span; arg1 = node
 	// redis (membership-driven): arg0 = fenced node.
 	KViewFence // a dead node's views were fenced; arg1 = fence generation
+	// health: arg0 = degraded/drained node.
+	KDegraded   // an anomaly detector marked the node Degraded; arg1 = generation
+	KRecovered  // the node's signals returned to normal; arg1 = generation
+	KDrain      // begin/end: the self-healing drain pipeline; arg1 = generation (end: stage mask)
+	KFenceEarly // the store was fenced BEFORE node death; arg1 = fenced generation
+	KRePlace    // tiering stopped promoting toward the node; arg1 = generation
+	KRejoin     // begin/end: recovery rejoin span; arg1 = generation
 	numKinds
 )
 
@@ -153,6 +163,18 @@ func (k Kind) String() string {
 		return "resync"
 	case KViewFence:
 		return "view-fence"
+	case KDegraded:
+		return "degraded"
+	case KRecovered:
+		return "recovered"
+	case KDrain:
+		return "drain"
+	case KFenceEarly:
+		return "fence-early"
+	case KRePlace:
+		return "re-place"
+	case KRejoin:
+		return "rejoin"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
