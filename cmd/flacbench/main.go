@@ -19,6 +19,7 @@
 //	flacbench -experiment trace        # flight-recorder overhead budget
 //	flacbench -experiment membership   # failure detection vs per-subsystem recovery
 //	flacbench -experiment health       # gray-failure drain vs liveness-only baseline
+//	flacbench -experiment fabric       # fabric per-op costs + ranged fast-path gates
 //	flacbench -experiment torture      # seeded rack-wide fault-sweep matrix
 //	flacbench -experiment torture -seed 42            # replay one failing seed
 //	flacbench -experiment torture -torture-break ring-invalidate  # checker self-test
@@ -65,7 +66,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|redisscale|tiering|trace|membership|health|torture|all)")
+	exp := flag.String("experiment", "all", "which experiment to run (fig4|container|sync|pagecache|faultbox|ipc|dedup|density|sched|redisrack|redisscale|tiering|trace|membership|health|fabric|torture|all)")
 	quick := flag.Bool("quick", false, "run reduced workloads (CI-sized, same shapes)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	seed := flag.Int64("seed", 0, "torture: replay a single seed instead of the sweep")
@@ -137,7 +138,7 @@ func main() {
 			return experiments.SchedAblation(cfg)
 		},
 	}
-	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "redisscale", "tiering", "trace", "membership", "health", "torture"}
+	order := []string{"fig4", "container", "sync", "pagecache", "faultbox", "ipc", "dedup", "density", "sched", "redisrack", "redisscale", "tiering", "trace", "membership", "health", "fabric", "torture"}
 
 	if *list {
 		for _, name := range order {
@@ -149,7 +150,7 @@ func main() {
 	var selected []string
 	if *exp == "all" {
 		selected = order
-	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "redisscale" || *exp == "tiering" || *exp == "membership" || *exp == "health" {
+	} else if _, ok := runners[*exp]; ok || *exp == "torture" || *exp == "trace" || *exp == "redisrack" || *exp == "redisscale" || *exp == "tiering" || *exp == "membership" || *exp == "health" || *exp == "fabric" {
 		selected = []string{*exp}
 	} else {
 		fmt.Fprintf(os.Stderr, "flacbench: unknown experiment %q\n", *exp)
@@ -240,6 +241,23 @@ func main() {
 			res, failed = experiments.Health(cfg)
 			if failed {
 				fmt.Fprintln(os.Stderr, "flacbench: health experiment failed its drain/rejoin, leaked a zombie write through a fence, false-killed the gray baseline node, broke exactly-once, or missed its tail gate")
+				exitCode = 1
+			}
+		} else if name == "fabric" {
+			cfg := experiments.DefaultFabric()
+			if *quick {
+				// Shorter wall loops and no hooked-miss gate: the virtual
+				// cost rows (and with them BENCH_fabric.json) come from
+				// single deterministic charges, so the artifact is byte-
+				// identical to the full run's.
+				cfg.HitReps, cfg.MissReps, cfg.AtomicReps = 40_000, 10_000, 20_000
+				cfg.RangedReps = 1_000
+				cfg.GateHookDispatch = false
+			}
+			var failed bool
+			res, failed = experiments.Fabric(cfg)
+			if failed {
+				fmt.Fprintln(os.Stderr, "flacbench: fabric experiment missed its ranged speedup gate, diverged from the per-line virtual cost model, or hook dispatch cost nothing over the no-hook fence path")
 				exitCode = 1
 			}
 		} else if name == "trace" {

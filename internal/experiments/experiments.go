@@ -38,6 +38,18 @@ type Bench struct {
 	// Rows, when set, holds a sweep's full per-configuration series (the
 	// redisscale scaling curve: one row per node count and offered load).
 	Rows []loadgen.Row `json:"rows,omitempty"`
+	// Ops, when set, holds per-operation cost rows (the fabric
+	// micro-benchmark: one row per op kind). VirtualNS comes from the
+	// deterministic cost model and is bit-stable across runs and hosts;
+	// WallNS is host-dependent and omitted from committed artifacts.
+	Ops []OpCost `json:"ops,omitempty"`
+}
+
+// OpCost is one operation's cost row inside a Bench.
+type OpCost struct {
+	Op        string  `json:"op"`
+	VirtualNS float64 `json:"virtual_ns"`
+	WallNS    float64 `json:"wall_ns,omitempty"`
 }
 
 // Validate checks a Bench is a publishable artifact: named, with positive
@@ -59,6 +71,22 @@ func (b *Bench) Validate() error {
 			r.P50NS == 0 || r.P99NS < r.P50NS || r.P999NS < r.P99NS ||
 			math.IsInf(r.OfferedLoad, 0) || math.IsInf(r.AchievedOpsPerSec, 0) {
 			return fmt.Errorf("bench %s: malformed row %d: %+v", b.Name, i, r)
+		}
+	}
+	seen := map[string]bool{}
+	for i, op := range b.Ops {
+		if op.Op == "" {
+			return fmt.Errorf("bench %s: op row %d has no name", b.Name, i)
+		}
+		if seen[op.Op] {
+			return fmt.Errorf("bench %s: duplicate op row %q", b.Name, op.Op)
+		}
+		seen[op.Op] = true
+		if !(op.VirtualNS > 0) || math.IsInf(op.VirtualNS, 0) {
+			return fmt.Errorf("bench %s: op %q virtual_ns %v is not positive and finite", b.Name, op.Op, op.VirtualNS)
+		}
+		if op.WallNS < 0 || math.IsInf(op.WallNS, 0) || math.IsNaN(op.WallNS) {
+			return fmt.Errorf("bench %s: op %q wall_ns %v is malformed", b.Name, op.Op, op.WallNS)
 		}
 	}
 	return nil

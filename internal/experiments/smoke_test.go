@@ -116,6 +116,13 @@ func TestEveryExperimentQuickSmoke(t *testing.T) {
 			}
 			return res
 		}},
+		{"fabric", func() *Result {
+			res, failed := Fabric(quickFabric())
+			if failed {
+				t.Errorf("fabric experiment reported failure in smoke sizes:\n%s", res)
+			}
+			return res
+		}},
 		{"torture", func() *Result {
 			cfg := DefaultTorture()
 			cfg.Seeds = []int64{1}
@@ -388,5 +395,97 @@ func TestBenchValidateRejectsMalformed(t *testing.T) {
 	row.Rows = []loadgen.Row{{Nodes: 2, OfferedLoad: 1, AchievedOpsPerSec: 1, P50NS: 1, P99NS: 2, P999NS: 3}}
 	if err := row.Validate(); err != nil {
 		t.Errorf("well-formed row rejected: %v", err)
+	}
+}
+
+// quickFabric is the unit-test fabric configuration: tiny wall loops and
+// the wall-clock gates disabled — under t.Parallel() every other smoke
+// experiment is competing for the host clock, so only the deterministic
+// virtual-model gate is meaningful here (and it stays on).
+func quickFabric() FabricConfig {
+	cfg := DefaultFabric()
+	cfg.HitReps, cfg.MissReps, cfg.AtomicReps = 5_000, 2_000, 3_000
+	cfg.RangedReps = 200
+	cfg.SpeedupGate = 0
+	cfg.GateHookDispatch = false
+	return cfg
+}
+
+// TestFabricBenchHeadline locks the shape of BENCH_fabric.json: the
+// artifact's per-op rows are virtual-only (bit-stable across hosts, so
+// the committed baseline never drifts), every advertised op is present,
+// and two runs of the experiment produce byte-identical headlines.
+func TestFabricBenchHeadline(t *testing.T) {
+	res, _ := Fabric(quickFabric())
+	if res.Bench == nil {
+		t.Fatal("fabric experiment published no bench headline")
+	}
+	b := res.Bench
+	if b.Name != "fabric" {
+		t.Errorf("bench name %q, want fabric", b.Name)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("fabric bench failed Validate: %v", err)
+	}
+	want := []string{
+		"read-hit", "write-hit", "read-miss",
+		"wbr-1", "inv-1", "wbr-4", "inv-4", "wbr-16", "inv-16", "wbr-64", "inv-64",
+		"atomic-rmw", "fence",
+	}
+	if len(b.Ops) != len(want) {
+		t.Fatalf("bench has %d op rows, want %d", len(b.Ops), len(want))
+	}
+	for i, name := range want {
+		op := b.Ops[i]
+		if op.Op != name {
+			t.Errorf("op row %d is %q, want %q", i, op.Op, name)
+		}
+		if op.WallNS != 0 {
+			t.Errorf("op %q carries wall_ns %v; committed rows must be virtual-only", op.Op, op.WallNS)
+		}
+		if op.VirtualNS <= 0 {
+			t.Errorf("op %q virtual_ns %v not positive", op.Op, op.VirtualNS)
+		}
+	}
+	if b.P50NS != b.Ops[0].VirtualNS {
+		t.Errorf("p50 %v is not the read-hit virtual cost %v", b.P50NS, b.Ops[0].VirtualNS)
+	}
+
+	// Determinism: a second run's headline is identical field for field.
+	res2, _ := Fabric(quickFabric())
+	b2 := res2.Bench
+	if b.OpsPerSec != b2.OpsPerSec || b.P50NS != b2.P50NS || b.P99NS != b2.P99NS {
+		t.Errorf("headline drifted across runs: %+v vs %+v", b, b2)
+	}
+	for i := range b.Ops {
+		if b.Ops[i] != b2.Ops[i] {
+			t.Errorf("op row %d drifted across runs: %+v vs %+v", i, b.Ops[i], b2.Ops[i])
+		}
+	}
+}
+
+// TestBenchValidateOpRows extends the artifact guard to the per-op rows.
+func TestBenchValidateOpRows(t *testing.T) {
+	base := Bench{Name: "x", OpsPerSec: 10, P50NS: 5, P99NS: 9}
+	ok := base
+	ok.Ops = []OpCost{{Op: "read-hit", VirtualNS: 100}, {Op: "fence", VirtualNS: 30, WallNS: 18}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("well-formed op rows rejected: %v", err)
+	}
+	bad := [][]OpCost{
+		{{Op: "", VirtualNS: 100}},
+		{{Op: "a", VirtualNS: 0}},
+		{{Op: "a", VirtualNS: -1}},
+		{{Op: "a", VirtualNS: math.Inf(1)}},
+		{{Op: "a", VirtualNS: 100, WallNS: -1}},
+		{{Op: "a", VirtualNS: 100, WallNS: math.NaN()}},
+		{{Op: "a", VirtualNS: 100}, {Op: "a", VirtualNS: 200}}, // duplicate name
+	}
+	for i, ops := range bad {
+		b := base
+		b.Ops = ops
+		if err := b.Validate(); err == nil {
+			t.Errorf("malformed op rows %d passed Validate: %+v", i, ops)
+		}
 	}
 }

@@ -98,3 +98,35 @@ func BenchmarkCrossNodePublish(b *testing.B) {
 		peer.Read(g, buf)
 	}
 }
+
+// Ranged write-back vs the pinned per-line baseline: the batching win the
+// fabric experiment gates on. Each iteration dirties the lines (the store
+// loop's cost is common to both) then writes them back in one ranged call
+// or via the legacy per-line path.
+
+func benchWBR(b *testing.B, lines uint64, wbr func(*Node, GPtr, uint64)) {
+	_, n, g := benchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := uint64(0); l < lines; l++ {
+			n.Store64(g.Add(l*LineSize), uint64(i))
+		}
+		wbr(n, g, lines*LineSize)
+	}
+}
+
+func BenchmarkWriteBackRange1(b *testing.B) {
+	benchWBR(b, 1, (*Node).WriteBackRange)
+}
+
+func BenchmarkWriteBackRange16(b *testing.B) {
+	benchWBR(b, 16, (*Node).WriteBackRange)
+}
+
+func BenchmarkWriteBackRange64(b *testing.B) {
+	benchWBR(b, 64, (*Node).WriteBackRange)
+}
+
+func BenchmarkWriteBackRange16PerLine(b *testing.B) {
+	benchWBR(b, 16, (*Node).WriteBackRangePerLine)
+}

@@ -15,6 +15,12 @@ type cache struct {
 	mu       sync.Mutex
 	lines    map[uint64]*cacheLine
 	capacity int // max resident lines; 0 means unlimited
+	// maintLocks counts lock acquisitions by the explicit cache-maintenance
+	// paths (ranged write-back/invalidate/flush and the *All variants).
+	// Guarded by mu; a plain counter so the hot path pays one increment,
+	// not an atomic. Tests use it to pin the "one lock acquisition per
+	// ranged call" contract.
+	maintLocks uint64
 }
 
 func newCache(capacity int) *cache {
@@ -47,16 +53,6 @@ func (c *cache) insert(li uint64, ln *cacheLine) (uint64, *cacheLine) {
 	return victimIdx, victim
 }
 
-// drop removes the line for index li, returning it if it was resident.
-// Caller holds c.mu.
-func (c *cache) drop(li uint64) *cacheLine {
-	ln := c.lines[li]
-	if ln != nil {
-		delete(c.lines, li)
-	}
-	return ln
-}
-
 // reset discards every line (crash, or InvalidateAll).
 // Caller holds c.mu.
 func (c *cache) reset() { c.lines = make(map[uint64]*cacheLine) }
@@ -66,4 +62,13 @@ func (c *cache) resident() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.lines)
+}
+
+// maintLockCount returns how many times a maintenance path has acquired
+// the cache lock. Test-only observability for the one-lock-per-call
+// contract of the ranged operations.
+func (c *cache) maintLockCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maintLocks
 }

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRangeLineMath fuzzes the range→line arithmetic behind every ranged
+// maintenance call: LineSpan's first/last computation and the end-to-end
+// contract that WriteBackRange over an arbitrary [off, off+size) slice of
+// a reservation publishes exactly the written bytes and leaves every
+// other home byte untouched. The seeds pin the historical hazards: zero
+// size, single bytes straddling a line boundary, ranges ending exactly on
+// a line boundary, and ranges hugging the end of the reservation (where
+// off+size-1 arithmetic could overflow into the next line or past the
+// reservation).
+func FuzzRangeLineMath(f *testing.F) {
+	const arenaLines = 8
+	const arenaBytes = arenaLines * LineSize
+
+	f.Add(uint64(0), uint64(0))            // zero size: no-op, must not touch LineSpan
+	f.Add(uint64(0), uint64(1))            // first byte
+	f.Add(uint64(LineSize-1), uint64(2))   // straddles lines 0|1
+	f.Add(uint64(0), uint64(LineSize))     // exactly one line: must NOT touch line 1
+	f.Add(uint64(0), uint64(arenaBytes))   // whole reservation
+	f.Add(uint64(arenaBytes-1), uint64(1)) // last byte of the reservation
+	f.Add(uint64(arenaBytes-8), uint64(8)) // last word
+	f.Add(uint64(5), uint64(3*LineSize))   // unaligned start, multi-line
+	f.Add(^uint64(0), ^uint64(0))          // garbage: exercises the clamping below
+
+	f.Fuzz(func(t *testing.T, off, size uint64) {
+		// Clamp the raw fuzz inputs into the reservation; the clamping
+		// itself is part of what keeps the math honest near the edges.
+		off %= arenaBytes
+		size %= arenaBytes - off + 1 // 0..arenaBytes-off inclusive
+
+		fab := New(Config{GlobalSize: 1 << 16, Nodes: 1, CacheCapacityLines: -1})
+		n := fab.Node(0)
+		g := fab.Reserve(arenaBytes, LineSize)
+
+		if size == 0 {
+			before := n.Stats()
+			n.WriteBackRange(g.Add(off), 0)
+			n.InvalidateRange(g.Add(off), 0)
+			n.FlushRange(g.Add(off), 0)
+			if d := n.Stats().Delta(before); d.WriteBacks != 0 || d.Invalidates != 0 || d.VirtualNS != 0 {
+				t.Fatalf("zero-size maintenance did work: %+v", d)
+			}
+			return
+		}
+
+		// Pure line arithmetic against a transparent oracle.
+		start := g.Add(off)
+		first, last := LineSpan(start, size)
+		wantFirst := (uint64(g) + off) / LineSize
+		wantLast := (uint64(g) + off + size - 1) / LineSize
+		if first != wantFirst || last != wantLast {
+			t.Fatalf("LineSpan(off=%d,size=%d) = [%d,%d], want [%d,%d]",
+				off, size, first, last, wantFirst, wantLast)
+		}
+		if first > last {
+			t.Fatalf("LineSpan inverted: [%d,%d]", first, last)
+		}
+		if lines := last - first + 1; lines > size/LineSize+2 {
+			t.Fatalf("range of %d bytes spans %d lines", size, lines)
+		}
+
+		// End-to-end: seed home with a pattern, write a different pattern
+		// through the cache over [off, off+size), write back exactly that
+		// range. Home must now hold the new bytes there and the old bytes
+		// everywhere else — including the unwritten tails of the first and
+		// last lines the range straddles.
+		pre := make([]byte, arenaBytes)
+		for i := range pre {
+			pre[i] = byte(i * 7)
+		}
+		fab.WriteAtHome(g, pre)
+		n.InvalidateAll() // drop lines cached by the stats probe above
+
+		pat := make([]byte, size)
+		for i := range pat {
+			pat[i] = byte(255 - i%251)
+		}
+		n.Write(start, pat)
+		n.WriteBackRange(start, size)
+
+		post := make([]byte, arenaBytes)
+		fab.ReadAtHome(g, post)
+		if !bytes.Equal(post[off:off+size], pat) {
+			t.Fatalf("written range did not reach home (off=%d size=%d)", off, size)
+		}
+		if !bytes.Equal(post[:off], pre[:off]) || !bytes.Equal(post[off+size:], pre[off+size:]) {
+			t.Fatalf("write-back of [%d,+%d) disturbed bytes outside the range", off, size)
+		}
+
+		// The inverse op drops exactly the spanned lines and no others.
+		resBefore := n.cache.resident()
+		n.InvalidateRange(start, size)
+		if got, want := resBefore-n.cache.resident(), int(last-first+1); got != want {
+			t.Fatalf("InvalidateRange dropped %d lines, want %d", got, want)
+		}
+	})
+}

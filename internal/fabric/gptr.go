@@ -50,6 +50,16 @@ func (g GPtr) AlignUp(align uint64) GPtr {
 // Line returns the index of the cache line containing g.
 func (g GPtr) Line() uint64 { return uint64(g) / LineSize }
 
+// LineSpan returns the indexes of the first and last cache line overlapped
+// by the byte range [g, g+size). It is the one range→line conversion every
+// ranged cache-maintenance op uses; size must be positive (callers treat a
+// zero-size range as a no-op before converting). The last byte of the
+// range is g+size-1, so a range ending exactly on a line boundary does NOT
+// touch the following line.
+func LineSpan(g GPtr, size uint64) (first, last uint64) {
+	return g.Line(), g.Add(size - 1).Line()
+}
+
 // LineStart returns the address of the first byte of g's cache line.
 func (g GPtr) LineStart() GPtr { return GPtr(g.Line() * LineSize) }
 

@@ -3,6 +3,7 @@ package fabric
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync/atomic"
 )
 
@@ -19,6 +20,11 @@ type Node struct {
 	crashed atomic.Bool
 	stats   NodeStats
 	opHook  atomic.Pointer[OpHook]
+	// hooked mirrors "opHook != nil" as one byte so hot paths can skip
+	// event assembly, the hook pointer load and the indirect call with a
+	// single load when no hook is installed — the common case for every
+	// subsystem outside forensic trace windows.
+	hooked atomic.Bool
 }
 
 // ID returns the node's index within the rack.
@@ -126,7 +132,9 @@ func (n *Node) withLine(g GPtr, size uint64, write bool, fn func(data *[LineSize
 			n.stats.FaultsInjected.Add(fl)
 		}
 		n.stats.WriteBacks.Add(1)
-		n.fireOp(OpWriteBack, victimIdx)
+		if n.hooked.Load() {
+			n.fireOp(OpWriteBack, victimIdx, 1)
+		}
 	}
 	if write {
 		n.stats.Stores.Add(1)
@@ -136,7 +144,9 @@ func (n *Node) withLine(g GPtr, size uint64, write bool, fn func(data *[LineSize
 	if miss {
 		n.stats.Misses.Add(1)
 		n.charge(n.globalCost(1))
-		n.fireOp(OpMiss, li)
+		if n.hooked.Load() {
+			n.fireOp(OpMiss, li, 0)
+		}
 	} else {
 		n.stats.Hits.Add(1)
 		n.charge(n.fab.lat.LocalNS)
@@ -316,10 +326,87 @@ func (n *Node) Fence() {
 	n.checkAlive()
 	n.stats.Fences.Add(1)
 	n.charge(n.fab.lat.FenceNS)
-	n.fireOp(OpFence, 0)
+	if n.hooked.Load() {
+		n.fireOp(OpFence, 0, 0)
+	}
 }
 
 // --- Cache maintenance ---
+//
+// The ranged operations are the fabric's batch fast path: every call takes
+// the cache lock exactly ONCE, harvests the affected lines into a stack
+// buffer, and finishes outside the lock with one batched home transfer,
+// one summed stats update, one latency charge and (at most) one ranged op
+// event. Per-line bookkeeping inside the loops uses plain locals — the
+// single lock acquisition already serializes the harvest, so the per-line
+// atomics the old line-at-a-time path paid are pure overhead.
+
+// wbHarvestCap is how many dirty lines the ranged write-back paths buffer
+// on the stack before spilling to the heap. 64 lines (one 4 KiB page of
+// payload) covers every range the hot subsystems flush in one call.
+// wbSmallCap is the tier below it: Go zero-initializes a declared array,
+// and paying a ~4.6 KiB memclr on a one-line write-back (the trace
+// emitter's per-event publish) would eat most of the batching win, so
+// narrow ranges get a one-line-wide buffer instead.
+const (
+	wbHarvestCap = 64
+	wbSmallCap   = 4
+)
+
+// wbEntry is one harvested dirty line awaiting its home write.
+type wbEntry struct {
+	li   uint64
+	data [LineSize]byte
+}
+
+// harvestRange walks [first, last] under one cache-lock acquisition,
+// appending every dirty line to buf (cleaning it in place) and, when drop
+// is set, discarding every resident line in the range (the flush path).
+// It returns the grown buffer and how many lines were dropped.
+func (n *Node) harvestRange(first, last uint64, buf []wbEntry, drop bool) ([]wbEntry, uint64) {
+	c := n.cache
+	dropped := uint64(0)
+	c.mu.Lock()
+	c.maintLocks++
+	for li := first; li <= last; li++ {
+		ln := c.lines[li]
+		if ln == nil {
+			continue
+		}
+		if ln.dirty {
+			ln.dirty = false
+			buf = append(buf, wbEntry{li: li, data: ln.data})
+		}
+		if drop {
+			delete(c.lines, li)
+			dropped++
+		}
+	}
+	c.mu.Unlock()
+	return buf, dropped
+}
+
+// finishWriteBack commits a harvested batch: the dirty lines stream home
+// in ascending line order (ascending order is load-bearing for the fault
+// injector's deterministic replay and for trace's payload-before-sequence
+// line commit), then the node pays ONE pipelined burst charge, ONE summed
+// stats update and ONE ranged op event for the whole batch.
+func (n *Node) finishWriteBack(buf []wbEntry) {
+	if len(buf) == 0 {
+		return
+	}
+	faults := n.fab.writeLinesHome(buf)
+	if faults > 0 {
+		n.stats.FaultsInjected.Add(faults)
+	}
+	n.stats.WriteBacks.Add(uint64(len(buf)))
+	// One pipelined burst for the whole range, like hardware
+	// write-combining, rather than independent line round trips.
+	n.charge(n.globalCost(len(buf)))
+	if n.hooked.Load() {
+		n.fireOp(OpWriteBackRange, buf[0].li, uint64(len(buf)))
+	}
+}
 
 // WriteBackRange pushes every dirty cached line overlapping [g, g+size) to
 // home memory. Lines stay resident and become clean.
@@ -329,33 +416,16 @@ func (n *Node) WriteBackRange(g GPtr, size uint64) {
 		return
 	}
 	n.fab.checkRange(g, size)
-	c := n.cache
-	first, last := g.Line(), g.Add(size-1).Line()
-	written := 0
-	for li := first; li <= last; li++ {
-		c.mu.Lock()
-		ln := c.lookup(li)
-		var cp [LineSize]byte
-		doWB := ln != nil && ln.dirty
-		if doWB {
-			cp = ln.data
-			ln.dirty = false
-		}
-		c.mu.Unlock()
-		if doWB {
-			if fl := n.fab.writeLineHome(li, &cp); fl > 0 {
-				n.stats.FaultsInjected.Add(fl)
-			}
-			n.stats.WriteBacks.Add(1)
-			n.fireOp(OpWriteBack, li)
-			written++
-		}
+	first, last := LineSpan(g, size)
+	if last-first < wbSmallCap {
+		var stack [wbSmallCap]wbEntry
+		buf, _ := n.harvestRange(first, last, stack[:0], false)
+		n.finishWriteBack(buf)
+		return
 	}
-	if written > 0 {
-		// One pipelined burst for the whole range, like hardware
-		// write-combining, rather than independent line round trips.
-		n.charge(n.globalCost(written))
-	}
+	var stack [wbHarvestCap]wbEntry
+	buf, _ := n.harvestRange(first, last, stack[:0], false)
+	n.finishWriteBack(buf)
 }
 
 // InvalidateRange discards every cached line overlapping [g, g+size).
@@ -367,53 +437,72 @@ func (n *Node) InvalidateRange(g GPtr, size uint64) {
 		return
 	}
 	n.fab.checkRange(g, size)
+	first, last := LineSpan(g, size)
 	c := n.cache
-	first, last := g.Line(), g.Add(size-1).Line()
+	dropped := uint64(0)
 	c.mu.Lock()
+	c.maintLocks++
 	for li := first; li <= last; li++ {
-		if c.drop(li) != nil {
-			n.stats.Invalidates.Add(1)
+		if _, ok := c.lines[li]; ok {
+			delete(c.lines, li)
+			dropped++
 		}
 	}
 	c.mu.Unlock()
+	if dropped > 0 {
+		n.stats.Invalidates.Add(dropped)
+	}
 	n.charge(n.fab.lat.LocalNS)
 }
 
 // FlushRange writes back then invalidates every line in [g, g+size): after
 // it returns, home memory holds this node's writes and the next load
-// re-fetches from home.
+// re-fetches from home. The write-back and the invalidate share one
+// single-pass harvest under one lock acquisition.
 func (n *Node) FlushRange(g GPtr, size uint64) {
-	n.WriteBackRange(g, size)
-	n.InvalidateRange(g, size)
+	n.checkAlive()
+	if size == 0 {
+		return
+	}
+	n.fab.checkRange(g, size)
+	first, last := LineSpan(g, size)
+	if last-first < wbSmallCap {
+		var stack [wbSmallCap]wbEntry
+		buf, dropped := n.harvestRange(first, last, stack[:0], true)
+		n.finishWriteBack(buf)
+		if dropped > 0 {
+			n.stats.Invalidates.Add(dropped)
+		}
+		n.charge(n.fab.lat.LocalNS)
+		return
+	}
+	var stack [wbHarvestCap]wbEntry
+	buf, dropped := n.harvestRange(first, last, stack[:0], true)
+	n.finishWriteBack(buf)
+	if dropped > 0 {
+		n.stats.Invalidates.Add(dropped)
+	}
+	n.charge(n.fab.lat.LocalNS)
 }
 
 // WriteBackAll pushes every dirty line in the node's cache to home memory.
+// The batch streams home in ascending line order — deterministic, unlike
+// the map's iteration order, so fault-injection replays are stable.
 func (n *Node) WriteBackAll() {
 	n.checkAlive()
 	c := n.cache
 	c.mu.Lock()
-	type wb struct {
-		li   uint64
-		data [LineSize]byte
-	}
-	var dirty []wb
+	c.maintLocks++
+	buf := make([]wbEntry, 0, len(c.lines))
 	for li, ln := range c.lines {
 		if ln.dirty {
-			dirty = append(dirty, wb{li, ln.data})
 			ln.dirty = false
+			buf = append(buf, wbEntry{li: li, data: ln.data})
 		}
 	}
 	c.mu.Unlock()
-	for i := range dirty {
-		if fl := n.fab.writeLineHome(dirty[i].li, &dirty[i].data); fl > 0 {
-			n.stats.FaultsInjected.Add(fl)
-		}
-		n.stats.WriteBacks.Add(1)
-		n.fireOp(OpWriteBack, dirty[i].li)
-	}
-	if len(dirty) > 0 {
-		n.charge(n.globalCost(len(dirty)))
-	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].li < buf[j].li })
+	n.finishWriteBack(buf)
 }
 
 // InvalidateAll empties the node's cache, losing dirty data.
@@ -421,6 +510,7 @@ func (n *Node) InvalidateAll() {
 	n.checkAlive()
 	c := n.cache
 	c.mu.Lock()
+	c.maintLocks++
 	dropped := len(c.lines)
 	c.reset()
 	c.mu.Unlock()

@@ -75,32 +75,103 @@ func TestFaultsInjectedCountsDroppedWriteBacks(t *testing.T) {
 func TestOpHookFiresOnMissWriteBackFence(t *testing.T) {
 	f := statsFabric(LatencyModel{})
 	n := f.Node(0)
-	g := f.Reserve(2*LineSize, LineSize)
+	g := f.Reserve(4*LineSize, LineSize)
 
-	var miss, wb, fence atomic.Uint64
-	n.SetOpHook(func(k OpKind, arg uint64) {
+	var miss, wbRanged, wbLines, fence atomic.Uint64
+	n.SetOpHook(func(k OpKind, arg0, arg1 uint64) {
 		switch k {
 		case OpMiss:
 			miss.Add(1)
-		case OpWriteBack:
-			wb.Add(1)
+		case OpWriteBackRange:
+			wbRanged.Add(1)
+			wbLines.Add(arg1)
+			if first := g.Line(); arg0 != first {
+				t.Errorf("ranged write-back arg0=%d, want first line %d", arg0, first)
+			}
 		case OpFence:
 			fence.Add(1)
 		}
 	})
-	n.Load64(g) // miss
-	n.Load64(g) // hit: no event
-	n.Store64(g, 1)
-	n.WriteBackRange(g, LineSize)
+	n.Load64(g)                   // miss
+	n.Load64(g)                   // hit: no event
+	n.Store64(g, 1)               // hit on the cached line
+	n.Store64(g.Add(LineSize), 2) // second miss: dirties a fresh line
+	n.WriteBackRange(g, 2*LineSize) // ONE ranged event covering two lines
+	n.WriteBackRange(g, 2*LineSize) // all clean now: no event at all
 	n.Fence()
-	n.Add64(g.Add(LineSize), 1) // atomics bypass the cache: no events
-	if miss.Load() != 1 || wb.Load() != 1 || fence.Load() != 1 {
-		t.Errorf("hook counts miss=%d wb=%d fence=%d, want 1/1/1", miss.Load(), wb.Load(), fence.Load())
+	n.Add64(g.Add(2*LineSize), 1) // atomics bypass the cache: no events
+	if miss.Load() != 2 || wbRanged.Load() != 1 || wbLines.Load() != 2 || fence.Load() != 1 {
+		t.Errorf("hook counts miss=%d ranged-wb=%d wb-lines=%d fence=%d, want 2/1/2/1",
+			miss.Load(), wbRanged.Load(), wbLines.Load(), fence.Load())
 	}
 
 	n.SetOpHook(nil)
-	n.Load64(g.Add(LineSize)) // miss with hook removed
-	if miss.Load() != 1 {
+	n.Load64(g.Add(2 * LineSize)) // miss with hook removed
+	if miss.Load() != 2 {
 		t.Error("hook fired after removal")
+	}
+}
+
+// TestOpHookEvictionStaysPerLine pins the one cache-path event that is
+// still per-line: a capacity eviction's dirty-victim write-back happens on
+// the access path, one line at a time, and keeps the legacy OpWriteBack
+// kind so observers can tell evictions from explicit maintenance bursts.
+func TestOpHookEvictionStaysPerLine(t *testing.T) {
+	f := New(Config{GlobalSize: 1 << 20, Nodes: 1, CacheCapacityLines: 2})
+	n := f.Node(0)
+	g := f.Reserve(8*LineSize, LineSize)
+
+	var evict atomic.Uint64
+	n.SetOpHook(func(k OpKind, arg0, arg1 uint64) {
+		if k == OpWriteBack {
+			if arg1 != 1 {
+				t.Errorf("eviction write-back arg1=%d, want 1", arg1)
+			}
+			evict.Add(1)
+		}
+	})
+	for i := uint64(0); i < 6; i++ { // dirty 6 lines through a 2-line cache
+		n.Store64(g.Add(i*LineSize), i)
+	}
+	if evict.Load() == 0 {
+		t.Error("capacity evictions fired no per-line OpWriteBack events")
+	}
+}
+
+// TestStatsDeltaWraparound documents Delta's arithmetic: field-wise uint64
+// subtraction, modular on wraparound. A snapshot taken BEFORE ResetStats
+// used as prev against a post-reset snapshot yields huge modular values,
+// not negatives or panics — experiments must order snapshots around
+// resets, and this test pins the behavior they are ordering around.
+func TestStatsDeltaWraparound(t *testing.T) {
+	prev := NodeStatsSnapshot{Loads: ^uint64(0), VirtualNS: ^uint64(0) - 1}
+	cur := NodeStatsSnapshot{Loads: 2, VirtualNS: 3}
+	d := cur.Delta(prev)
+	if d.Loads != 3 { // 2 - (2^64-1) mod 2^64 = 3
+		t.Errorf("wrapped Loads delta = %d, want 3", d.Loads)
+	}
+	if d.VirtualNS != 5 { // 3 - (2^64-2) mod 2^64 = 5
+		t.Errorf("wrapped VirtualNS delta = %d, want 5", d.VirtualNS)
+	}
+	// The fields Delta never touches stay zero.
+	if d.Stores != 0 || d.Fences != 0 {
+		t.Errorf("untouched fields nonzero: %+v", d)
+	}
+
+	// End-to-end: snapshot, reset, small traffic — the delta against the
+	// pre-reset snapshot wraps modularly (cur - prev + 2^64).
+	f := statsFabric(DefaultLatency())
+	n := f.Node(0)
+	g := f.Reserve(LineSize, LineSize)
+	n.Load64(g)
+	n.Load64(g)
+	before := n.Stats()
+	n.ResetStats()
+	n.Load64(g)
+	after := n.Stats()
+	got := after.Delta(before)
+	want := after.Loads - before.Loads // modular by Go's uint64 rules
+	if got.Loads != want {
+		t.Errorf("post-reset Loads delta = %d, want modular %d", got.Loads, want)
 	}
 }

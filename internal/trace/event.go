@@ -102,6 +102,11 @@ const (
 	KFenceEarly // the store was fenced BEFORE node death; arg1 = fenced generation
 	KRePlace    // tiering stopped promoting toward the node; arg1 = generation
 	KRejoin     // begin/end: recovery rejoin span; arg1 = generation
+	// fabric (firehose, opt-in), ranged: one event per maintenance burst.
+	// arg0 = first (lowest) line index written, arg1 = lines written.
+	// Replaces what used to be arg1 per-line KWriteBack events, so the
+	// firehose keeps full traffic fidelity at 1/Nth the emit cost.
+	KWriteBackRange
 	numKinds
 )
 
@@ -175,6 +180,8 @@ func (k Kind) String() string {
 		return "re-place"
 	case KRejoin:
 		return "rejoin"
+	case KWriteBackRange:
+		return "write-back-range"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

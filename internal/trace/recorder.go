@@ -107,15 +107,19 @@ func (r *Recorder) Writer(node int) *Writer {
 func (r *Recorder) InstallFabricHooks() {
 	for i := 0; i < r.fab.NumNodes(); i++ {
 		w := r.writers[i]
-		r.fab.Node(i).SetOpHook(func(k fabric.OpKind, arg uint64) {
+		r.fab.Node(i).SetOpHook(func(k fabric.OpKind, arg0, arg1 uint64) {
 			if w.suppress.Load() > 0 {
 				return
 			}
 			switch k {
 			case fabric.OpMiss:
-				w.Emit(SubFabric, KMiss, 0, arg, 0)
+				w.Emit(SubFabric, KMiss, 0, arg0, 0)
 			case fabric.OpWriteBack:
-				w.Emit(SubFabric, KWriteBack, 0, arg, 0)
+				w.Emit(SubFabric, KWriteBack, 0, arg0, 0)
+			case fabric.OpWriteBackRange:
+				// One ranged event per maintenance burst: first written
+				// line and line count, full fidelity at 1/Nth the emits.
+				w.Emit(SubFabric, KWriteBackRange, 0, arg0, arg1)
 			case fabric.OpFence:
 				w.Emit(SubFabric, KFence, 0, 0, 0)
 			}

@@ -212,3 +212,50 @@ func TestVirtualTimestamps(t *testing.T) {
 		t.Fatalf("virtual timestamp gap %d, want >= 5000", gap)
 	}
 }
+
+// TestFirehoseRangedWriteBack: with fabric events on, an application
+// burst that dirties N lines and writes them back in one ranged call
+// produces exactly ONE write-back-range event carrying the burst's first
+// line and line count — not N per-line events — while misses keep their
+// per-line records.
+func TestFirehoseRangedWriteBack(t *testing.T) {
+	f := testFabric(t, 1)
+	r := New(f, Config{RingCap: 256, FabricEvents: true})
+	n := f.Node(0)
+
+	const lines = 8
+	g := f.Reserve(lines*fabric.LineSize, fabric.LineSize)
+	for l := uint64(0); l < lines; l++ {
+		n.Store64(g.Add(l*fabric.LineSize), l)
+	}
+	n.WriteBackRange(g, lines*fabric.LineSize)
+	r.RemoveFabricHooks()
+
+	rt := r.Collector().Snapshot(n, false)
+	var ranged, perLine, misses int
+	for _, ns := range rt.Nodes {
+		for _, ev := range ns.Events {
+			switch ev.Kind {
+			case KWriteBackRange:
+				ranged++
+				if ev.Arg0 != g.Line() || ev.Arg1 != lines {
+					t.Errorf("ranged event arg0=%d arg1=%d, want first line %d count %d",
+						ev.Arg0, ev.Arg1, g.Line(), lines)
+				}
+			case KWriteBack:
+				perLine++
+			case KMiss:
+				misses++
+			}
+		}
+	}
+	if ranged != 1 {
+		t.Errorf("got %d write-back-range events, want exactly 1", ranged)
+	}
+	if perLine != 0 {
+		t.Errorf("got %d per-line write-back events riding an explicit ranged call, want 0", perLine)
+	}
+	if misses != lines {
+		t.Errorf("got %d miss events, want %d (stores fetch each line once)", misses, lines)
+	}
+}
